@@ -1,0 +1,260 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one per exhibit, DESIGN.md §4), plus ablation benches for the design
+// choices the paper motivates. Experiment benches run the exp harness at a
+// reduced size factor so `go test -bench=.` completes in minutes; use
+// cmd/experiments for the full-scale tables.
+package parlouvain_test
+
+import (
+	"io"
+	"testing"
+
+	"parlouvain"
+	"parlouvain/internal/comm"
+	"parlouvain/internal/core"
+	"parlouvain/internal/edgetable"
+	"parlouvain/internal/exp"
+	"parlouvain/internal/gen"
+	"parlouvain/internal/hashfn"
+)
+
+// benchSize is the workload size factor for experiment benches.
+const benchSize = 0.1
+
+func runExp(b *testing.B, fn func() ([]exp.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintAll(io.Discard, tables)
+	}
+}
+
+func BenchmarkTable1Generators(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Table1(benchSize) })
+}
+
+func BenchmarkFig2Trace(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Fig2(benchSize, 2) })
+}
+
+func BenchmarkFig4Convergence(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Fig4(benchSize, 4) })
+}
+
+func BenchmarkFig5SizeDist(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Fig5(benchSize, 4) })
+}
+
+func BenchmarkTable3Quality(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Table3(benchSize, 4) })
+}
+
+func BenchmarkFig6Hash(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Fig6(benchSize) })
+}
+
+func BenchmarkFig7Speedup(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) {
+		return exp.Fig7(benchSize, []int{1, 2, 4}, []int{1, 2, 4})
+	})
+}
+
+func BenchmarkFig8Breakdown(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Fig8(benchSize, 4) })
+}
+
+func BenchmarkFig9WeakScaling(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Fig9(benchSize, []int{1, 2}) })
+}
+
+func BenchmarkFig9StrongScaling(b *testing.B) {
+	// Strong scaling only (Fig 9b/c): fixed graph, rank sweep.
+	el, _, err := gen.LFR(gen.DefaultLFR(4000, 0.3, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := comm.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		for _, p := range []int{1, 2, 4} {
+			if _, err := core.RunSimulated(el, 4000, p, core.Options{}, model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable4UK2007(b *testing.B) {
+	runExp(b, func() ([]exp.Table, error) { return exp.Table4(benchSize, []int{4}) })
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// BenchmarkAblationHashFunctions compares insert+scan throughput of the
+// four hash families on raw (unscrambled) R-MAT edge keys — the structured
+// id space where hash quality matters (Figure 6's setting).
+func BenchmarkAblationHashFunctions(b *testing.B) {
+	cfg := gen.DefaultRMAT(12, 3)
+	cfg.NoScramble = true
+	el, err := gen.RMAT(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range hashfn.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := edgetable.New(edgetable.Config{Hash: kind, Capacity: len(el)})
+				for _, e := range el {
+					tab.AddPair(e.U, e.V, e.W)
+				}
+				sum := 0.0
+				tab.Range(func(_ uint64, w float64) bool { sum += w; return true })
+				ablationSink = sum
+			}
+		})
+	}
+}
+
+var ablationSink float64
+
+// BenchmarkAblationTableLayout compares open addressing against chained
+// bins under the algorithm's access pattern.
+func BenchmarkAblationTableLayout(b *testing.B) {
+	el, err := gen.RMAT(gen.DefaultRMAT(12, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, layout := range []edgetable.Layout{edgetable.Probing, edgetable.Chained} {
+		b.Run(layout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := edgetable.New(edgetable.Config{Layout: layout, Capacity: len(el)})
+				for _, e := range el {
+					tab.AddPair(e.U, e.V, e.W)
+				}
+				sum := 0.0
+				tab.Range(func(_ uint64, w float64) bool { sum += w; return true })
+				ablationSink = sum
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreshold compares the convergence heuristics: the
+// fitted decay (Eq. 7 as intended), the paper's literal formula, and the
+// naive no-threshold baseline.
+func BenchmarkAblationThreshold(b *testing.B) {
+	el, _, err := gen.LFR(gen.DefaultLFR(3000, 0.4, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"decay", core.Options{}},
+		{"paper-literal", core.Options{Epsilon: core.PaperLiteralEpsilon(0.5, 2)}},
+		{"naive", core.Options{Naive: true, MaxInner: 16, MaxLevels: 4}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunInProcess(el, 3000, 4, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = res.Q
+			}
+			b.ReportMetric(q, "modularity")
+		})
+	}
+}
+
+// BenchmarkAblationTransport compares the in-process and TCP transports on
+// an identical workload.
+func BenchmarkAblationTransport(b *testing.B) {
+	el, _, err := gen.LFR(gen.DefaultLFR(2000, 0.3, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ranks = 2
+	b.Run("mem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunInProcess(el, 2000, ranks, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := runTCPOnce(el, ranks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func runTCPOnce(el parlouvain.EdgeList, ranks int) error {
+	addrs, err := parlouvain.LocalAddrs(ranks)
+	if err != nil {
+		return err
+	}
+	parts := parlouvain.SplitEdges(el, ranks)
+	n := el.NumVertices()
+	errs := make(chan error, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			tr, err := parlouvain.NewTCPTransport(parlouvain.TCPConfig{Rank: r, Addrs: addrs})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer tr.Close()
+			_, err = parlouvain.DetectDistributed(tr, parts[r], n, parlouvain.Options{})
+			errs <- err
+		}(r)
+	}
+	for r := 0; r < ranks; r++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkDetectParallelEndToEnd is the headline end-to-end benchmark:
+// LFR detection across 4 ranks.
+func BenchmarkDetectParallelEndToEnd(b *testing.B) {
+	el, _, err := gen.LFR(gen.DefaultLFR(5000, 0.3, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := parlouvain.DetectParallel(el, 4, parlouvain.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Q < 0.1 {
+			b.Fatalf("implausible Q %v", res.Q)
+		}
+	}
+}
+
+// BenchmarkDetectSequential is the sequential baseline for the same graph.
+func BenchmarkDetectSequential(b *testing.B) {
+	el, _, err := gen.LFR(gen.DefaultLFR(5000, 0.3, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := parlouvain.BuildGraph(el, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := parlouvain.DetectGraph(g, parlouvain.Options{})
+		if res.Q < 0.1 {
+			b.Fatalf("implausible Q %v", res.Q)
+		}
+	}
+}

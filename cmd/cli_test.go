@@ -1,0 +1,207 @@
+// Package cmd_test builds every CLI binary once and exercises the
+// documented workflows end-to-end: generate → detect → compare, the stats
+// and warm-start flags, the experiments driver and the multi-process TCP
+// daemon.
+package cmd_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "parlouvain-cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./...")
+	build.Dir = ".." // repo root
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "go build: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", name, args, out)
+	}
+	return string(out)
+}
+
+func TestGenerateDetectCompareWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.bin")
+	truth := filepath.Join(dir, "truth.txt")
+	found := filepath.Join(dir, "found.txt")
+
+	out := run(t, "gengraph", "-spec", "lfr:n=2000,mu=0.25,seed=4", "-o", graph, "-truth", truth)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("gengraph output: %s", out)
+	}
+
+	out = run(t, "louvain", "-ranks", "2", "-out", found, graph)
+	if !strings.Contains(out, "final modularity:") {
+		t.Errorf("louvain output: %s", out)
+	}
+
+	out = run(t, "partcmp", found, truth)
+	if !strings.Contains(out, "NMI") {
+		t.Errorf("partcmp output: %s", out)
+	}
+	// Strong structure at mu=0.25: NMI should print as a high value.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "NMI") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.Fields(line)[1], "%f", &v); err != nil {
+				t.Fatalf("parse NMI from %q: %v", line, err)
+			}
+			if v < 0.9 {
+				t.Errorf("NMI = %v, want > 0.9", v)
+			}
+		}
+	}
+}
+
+func TestLouvainFlags(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.txt")
+	run(t, "gengraph", "-spec", "ring:k=8,s=5", "-o", graph)
+
+	out := run(t, "louvain", "-seq", "-stats", "-breakdown", graph)
+	for _, want := range []string{"final modularity:", "vertices:", "components:", "coverage:", "conductance:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Generator input instead of a file.
+	out = run(t, "louvain", "-ranks", "2", "-gen", "sbm:n=200,comms=4,pin=0.3,pout=0.01")
+	if !strings.Contains(out, "communities:") {
+		t.Errorf("generator mode output: %s", out)
+	}
+}
+
+func TestLouvainWarmStartFlag(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.bin")
+	first := filepath.Join(dir, "first.txt")
+	run(t, "gengraph", "-spec", "lfr:n=1000,mu=0.3,seed=5", "-o", graph)
+	run(t, "louvain", "-ranks", "2", "-out", first, graph)
+	out := run(t, "louvain", "-ranks", "2", "-warm", first, graph)
+	if !strings.Contains(out, "final modularity:") {
+		t.Errorf("warm run output: %s", out)
+	}
+}
+
+func TestLouvainErrors(t *testing.T) {
+	runExpectError(t, "louvain", "/nonexistent/graph.txt")
+	runExpectError(t, "louvain", "-gen", "bogus:n=5")
+	runExpectError(t, "gengraph", "-spec", "lfr:n=100", "-o", "/nonexistent/dir/x.bin")
+	runExpectError(t, "partcmp", "/nope/a", "/nope/b")
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	out := run(t, "experiments", "-size", "0.05", "table1")
+	if !strings.Contains(out, "Table I") {
+		t.Errorf("experiments output: %s", out)
+	}
+	runExpectError(t, "experiments", "nosuch")
+}
+
+func TestLouvaindThreeProcesses(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.bin")
+	outFile := filepath.Join(dir, "dist.txt")
+	run(t, "gengraph", "-spec", "sbm:n=150,comms=3,pin=0.4,pout=0.02,seed=2", "-o", graph)
+
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	addrList := strings.Join(addrs, ",")
+
+	var wg sync.WaitGroup
+	outs := make([]string, 3)
+	errs := make([]error, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			args := []string{"-rank", fmt.Sprint(r), "-addrs", addrList, "-graph", graph}
+			if r == 0 {
+				args = append(args, "-out", outFile)
+			}
+			cmd := exec.Command(filepath.Join(binDir, "louvaind"), args...)
+			b, err := cmd.CombinedOutput()
+			outs[r], errs[r] = string(b), err
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 3; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v\n%s", r, errs[r], outs[r])
+		}
+		if !strings.Contains(outs[r], "Q=") {
+			t.Errorf("rank %d output: %s", r, outs[r])
+		}
+	}
+	if _, err := os.Stat(outFile); err != nil {
+		t.Errorf("assignment file not written: %v", err)
+	}
+}
+
+func TestGraphinfoCLI(t *testing.T) {
+	out := run(t, "graphinfo", "-hist", "-gcc", "-gen", "ring:k=6,s=5")
+	for _, want := range []string{"vertices:", "components:", "clustering:", "degree histogram:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	runExpectError(t, "graphinfo", "/nonexistent")
+}
+
+func TestLouvainAlgoVariants(t *testing.T) {
+	for _, algo := range []string{"lpa", "ensemble"} {
+		out := run(t, "louvain", "-algo", algo, "-gen", "ring:k=6,s=5")
+		if !strings.Contains(out, "final modularity:") {
+			t.Errorf("algo %s output: %s", algo, out)
+		}
+	}
+	out := run(t, "louvain", "-refine", "-gen", "ring:k=6,s=5")
+	if !strings.Contains(out, "refinement:") {
+		t.Errorf("refine output: %s", out)
+	}
+	runExpectError(t, "louvain", "-algo", "bogus", "-gen", "ring:k=6,s=5")
+}

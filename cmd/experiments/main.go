@@ -1,0 +1,38 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the per-experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	experiments [-size 1.0] table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|all
+//
+// -size scales every workload: 1.0 is the default laptop scale, smaller
+// values run faster (benches use ~0.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"parlouvain/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	size := flag.Float64("size", 1.0, "workload size factor (1.0 = default scale)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-size F] <%s|all> [more...]\n",
+			strings.Join(exp.Names(), "|"))
+		os.Exit(2)
+	}
+	for _, name := range flag.Args() {
+		if err := exp.RunByName(os.Stdout, name, *size); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

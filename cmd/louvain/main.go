@@ -1,0 +1,157 @@
+// Command louvain runs community detection on an edge-list file or a
+// generator spec and prints the per-level hierarchy, final modularity,
+// timings and (optionally) the vertex→community assignment.
+//
+// Usage:
+//
+//	louvain [flags] <graph-file>
+//	louvain [flags] -gen 'lfr:n=10000,mu=0.3'
+//
+// Examples:
+//
+//	louvain -ranks 8 -threads 4 graph.txt
+//	louvain -seq -out communities.txt graph.bin
+//	louvain -ranks 4 -gen 'rmat:scale=16'
+//	louvain -naive -ranks 8 -gen 'bter:n=20000,rho=0.55'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"parlouvain"
+	"parlouvain/internal/gencli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("louvain: ")
+	var (
+		ranks     = flag.Int("ranks", 1, "number of simulated compute ranks (parallel algorithm)")
+		threads   = flag.Int("threads", 1, "worker threads per rank")
+		seq       = flag.Bool("seq", false, "run the sequential baseline instead of the parallel algorithm")
+		naive     = flag.Bool("naive", false, "disable the convergence heuristic (parallel only)")
+		maxLevels = flag.Int("max-levels", 0, "cap on outer iterations (0 = default)")
+		maxInner  = flag.Int("max-inner", 0, "cap on inner iterations per level (0 = default)")
+		genSpec   = flag.String("gen", "", "generate the input instead of reading a file, e.g. 'lfr:n=10000,mu=0.3' (see cmd/gengraph)")
+		outPath   = flag.String("out", "", "write the final vertex-community assignment to this file")
+		breakdown = flag.Bool("breakdown", false, "print the per-phase timing breakdown")
+		stats     = flag.Bool("stats", false, "print graph statistics and partition quality (coverage, conductance)")
+		warmPath  = flag.String("warm", "", "warm-start from a previous assignment file (dynamic re-detection)")
+		algo      = flag.String("algo", "louvain", "algorithm: louvain | lpa (label propagation) | ensemble (core groups)")
+		refine    = flag.Bool("refine", false, "split internally disconnected communities afterwards (Leiden-style post-pass)")
+	)
+	flag.Parse()
+
+	var el parlouvain.EdgeList
+	var err error
+	switch {
+	case *genSpec != "":
+		el, _, err = gencli.Generate(*genSpec)
+	case flag.NArg() == 1:
+		el, err = parlouvain.LoadGraph(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: louvain [flags] <graph-file> | louvain [flags] -gen <spec>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := parlouvain.Options{
+		Threads:       *threads,
+		Naive:         *naive,
+		MaxLevels:     *maxLevels,
+		MaxInner:      *maxInner,
+		CollectLevels: true,
+	}
+	if *warmPath != "" {
+		prev, err := parlouvain.LoadPartition(*warmPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Warm = parlouvain.ExtendAssignment(prev, el.NumVertices())
+	}
+	g := parlouvain.BuildGraph(el, 0)
+	var membership []parlouvain.V
+	var res *parlouvain.Result
+	start := time.Now()
+	switch *algo {
+	case "louvain":
+		if *seq {
+			res = parlouvain.Detect(el, opt)
+		} else {
+			res, err = parlouvain.DetectParallel(el, *ranks, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		membership = res.Membership
+	case "lpa":
+		membership, err = parlouvain.LabelPropagation(el, *ranks, *maxInner)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "ensemble":
+		eres, err := parlouvain.DetectEnsemble(el, parlouvain.EnsembleOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		membership = eres.Membership
+		fmt.Printf("core groups: %d\n", eres.CoreGroups)
+	default:
+		log.Fatalf("unknown -algo %q (want louvain, lpa or ensemble)", *algo)
+	}
+	elapsed := time.Since(start)
+
+	if *refine {
+		var splits int
+		membership, splits = parlouvain.SplitDisconnected(g, membership)
+		fmt.Printf("refinement: split %d disconnected communities\n", splits)
+	}
+
+	fmt.Printf("vertices: %d  edges: %d\n", g.N, g.NumEdges())
+	if res != nil {
+		for i, lv := range res.Levels {
+			fmt.Printf("level %d: Q=%.6f  vertices=%d -> communities=%d  inner-iterations=%d\n",
+				i, lv.Q, lv.Vertices, lv.Communities, lv.InnerIterations)
+		}
+	}
+	fmt.Printf("final modularity: %.6f\n", parlouvain.Modularity(g, membership))
+	fmt.Printf("communities: %d\n", len(parlouvain.CommunitySizes(membership)))
+	if res != nil {
+		fmt.Printf("time: %v (first level %v)\n", elapsed.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
+		if *breakdown {
+			fmt.Print(res.Breakdown.String())
+		}
+	} else {
+		fmt.Printf("time: %v\n", elapsed.Round(time.Millisecond))
+	}
+	if *stats {
+		fmt.Println(parlouvain.Summarize(g))
+		pq, err := parlouvain.Quality(g, membership)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("coverage:        %.4f\n", pq.Coverage)
+		fmt.Printf("conductance:     avg %.4f / max %.4f\n", pq.AvgConductance, pq.MaxConductance)
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := parlouvain.WritePartition(f, membership); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("assignment written to %s\n", *outPath)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a small weighted graph by hand, detect its communities
+// with the parallel Louvain algorithm, and print the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parlouvain"
+)
+
+func main() {
+	// Two tightly-knit groups joined by a single weak edge — the classic
+	// smallest community-detection example.
+	edges := parlouvain.EdgeList{
+		// group A: a triangle of close friends
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 3}, {U: 2, V: 0, W: 3},
+		// group B: another triangle
+		{U: 3, V: 4, W: 3}, {U: 4, V: 5, W: 3}, {U: 5, V: 3, W: 3},
+		// one acquaintance across the groups
+		{U: 2, V: 3, W: 0.5},
+	}
+
+	res, err := parlouvain.DetectParallel(edges, 2, parlouvain.Options{
+		CollectLevels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("modularity: %.4f\n", res.Q)
+	fmt.Printf("levels: %d\n", len(res.Levels))
+	for v, c := range res.Membership {
+		fmt.Printf("vertex %d -> community %d\n", v, c)
+	}
+
+	sizes := parlouvain.CommunitySizes(res.Membership)
+	fmt.Printf("communities: %d (sizes %v)\n", len(sizes), sizes)
+}

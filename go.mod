@@ -1,0 +1,3 @@
+module parlouvain
+
+go 1.22

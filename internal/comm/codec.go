@@ -1,0 +1,94 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is an append-only little-endian message encoder used to build
+// per-destination planes. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the encoded plane (valid until the next append).
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Len returns the encoded size in bytes.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// Reset clears the buffer, keeping capacity.
+func (b *Buffer) Reset() { b.b = b.b[:0] }
+
+// PutU32 appends a uint32.
+func (b *Buffer) PutU32(x uint32) {
+	b.b = binary.LittleEndian.AppendUint32(b.b, x)
+}
+
+// PutU64 appends a uint64.
+func (b *Buffer) PutU64(x uint64) {
+	b.b = binary.LittleEndian.AppendUint64(b.b, x)
+}
+
+// PutF64 appends a float64.
+func (b *Buffer) PutF64(x float64) {
+	b.b = binary.LittleEndian.AppendUint64(b.b, math.Float64bits(x))
+}
+
+// Reader decodes a plane produced by Buffer.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps a received plane.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error (short read), if any.
+func (r *Reader) Err() error { return r.err }
+
+// More reports whether unread bytes remain and no error occurred.
+func (r *Reader) More() bool { return r.err == nil && r.off < len(r.b) }
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("comm: short plane: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return false
+	}
+	return true
+}
+
+// U32 decodes a uint32 (0 after an error).
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	x := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return x
+}
+
+// U64 decodes a uint64 (0 after an error).
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return x
+}
+
+// F64 decodes a float64 (0 after an error).
+func (r *Reader) F64() float64 {
+	if !r.need(8) {
+		return 0
+	}
+	x := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return x
+}

@@ -1,0 +1,294 @@
+// Package comm is the message-passing runtime that replaces the paper's
+// fine-grained MPI/PAMI messaging layer (their refs [27]-[29]). The parallel
+// Louvain algorithm only needs a small BSP-style surface — all-to-all
+// exchange of byte planes, barriers and reductions — which this package
+// provides over two interchangeable transports:
+//
+//   - Mem: rank-per-goroutine channels inside one process, used to simulate
+//     N compute nodes on a single machine (the default for experiments).
+//   - TCP: rank-per-socket over net, used to run ranks as separate OS
+//     processes (cmd/louvaind) or separate machines.
+//
+// Both transports deliver identical bytes in identical per-source order, so
+// algorithm results are independent of the transport.
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Transport performs one synchronous all-to-all round: out[i] is delivered
+// to rank i (out[rank] locally), and the returned in[j] holds the bytes rank
+// j sent here in the same round. A nil out[i] is delivered as empty. All
+// ranks must call Exchange the same number of times; the call blocks until
+// every peer's contribution for this round has arrived.
+type Transport interface {
+	Rank() int
+	Size() int
+	Exchange(out [][]byte) ([][]byte, error)
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("comm: transport closed")
+
+// Comm wraps a Transport with the typed collectives used by the algorithm.
+// It also counts traffic for the experiment harness.
+type Comm struct {
+	tr Transport
+
+	// Traffic counters (bytes and rounds), local to this rank.
+	BytesSent     uint64
+	BytesReceived uint64
+	Rounds        uint64
+}
+
+// New wraps a transport.
+func New(tr Transport) *Comm { return &Comm{tr: tr} }
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.tr.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.tr.Size() }
+
+// Close releases the underlying transport.
+func (c *Comm) Close() error { return c.tr.Close() }
+
+// SimNow returns the simulated makespan when the underlying transport is a
+// simulated (SimGroup) transport, and ok=false otherwise.
+func (c *Comm) SimNow() (d time.Duration, ok bool) {
+	if sc, isSim := c.tr.(SimClock); isSim {
+		return sc.SimNow(), true
+	}
+	return 0, false
+}
+
+// Exchange performs a raw all-to-all, maintaining traffic counters.
+func (c *Comm) Exchange(out [][]byte) ([][]byte, error) {
+	if len(out) != c.Size() {
+		return nil, fmt.Errorf("comm: Exchange with %d planes for %d ranks", len(out), c.Size())
+	}
+	for _, b := range out {
+		c.BytesSent += uint64(len(b))
+	}
+	in, err := c.tr.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range in {
+		c.BytesReceived += uint64(len(b))
+	}
+	c.Rounds++
+	return in, nil
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	_, err := c.Exchange(make([][]byte, c.Size()))
+	return err
+}
+
+// broadcastSame sends the same payload to every rank and returns the
+// per-source results.
+func (c *Comm) broadcastSame(payload []byte) ([][]byte, error) {
+	out := make([][]byte, c.Size())
+	for i := range out {
+		out[i] = payload
+	}
+	return c.Exchange(out)
+}
+
+// ReduceOp selects the combining operator of a reduction.
+type ReduceOp uint8
+
+const (
+	// OpSum adds contributions.
+	OpSum ReduceOp = iota
+	// OpMin takes the minimum.
+	OpMin
+	// OpMax takes the maximum.
+	OpMax
+)
+
+// AllReduceFloat64 combines one float64 per rank with op; every rank
+// receives the result. Contributions are folded in rank order on every
+// rank, so the result is bit-identical everywhere — callers branch on it
+// collectively, and a last-ulp divergence would desynchronize the group.
+func (c *Comm) AllReduceFloat64(x float64, op ReduceOp) (float64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	in, err := c.broadcastSame(buf[:])
+	if err != nil {
+		return 0, err
+	}
+	var acc float64
+	for src := 0; src < c.Size(); src++ {
+		var v float64
+		if src == c.Rank() {
+			v = x
+		} else {
+			b := in[src]
+			if len(b) != 8 {
+				return 0, fmt.Errorf("comm: AllReduceFloat64 got %d bytes from rank %d", len(b), src)
+			}
+			v = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		}
+		if src == 0 {
+			acc = v
+			continue
+		}
+		switch op {
+		case OpSum:
+			acc += v
+		case OpMin:
+			if v < acc {
+				acc = v
+			}
+		case OpMax:
+			if v > acc {
+				acc = v
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllReduceUint64 combines one uint64 per rank with op.
+func (c *Comm) AllReduceUint64(x uint64, op ReduceOp) (uint64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	in, err := c.broadcastSame(buf[:])
+	if err != nil {
+		return 0, err
+	}
+	acc := x
+	for src, b := range in {
+		if src == c.Rank() {
+			continue
+		}
+		if len(b) != 8 {
+			return 0, fmt.Errorf("comm: AllReduceUint64 got %d bytes from rank %d", len(b), src)
+		}
+		v := binary.LittleEndian.Uint64(b)
+		switch op {
+		case OpSum:
+			acc += v
+		case OpMin:
+			if v < acc {
+				acc = v
+			}
+		case OpMax:
+			if v > acc {
+				acc = v
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllReduceBool combines one bool per rank: with and=true it returns the
+// logical AND, otherwise the logical OR.
+func (c *Comm) AllReduceBool(x bool, and bool) (bool, error) {
+	var v uint64
+	if x {
+		v = 1
+	}
+	if and {
+		min, err := c.AllReduceUint64(v, OpMin)
+		return min == 1, err
+	}
+	max, err := c.AllReduceUint64(v, OpMax)
+	return max == 1, err
+}
+
+// AllReduceFloat64Slice element-wise sums a fixed-length vector across
+// ranks; every rank receives the combined vector. Used for the gain
+// histogram of the threshold heuristic.
+func (c *Comm) AllReduceFloat64Slice(xs []float64) error {
+	payload := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(x))
+	}
+	in, err := c.broadcastSame(payload)
+	if err != nil {
+		return err
+	}
+	// Fold in rank order for cross-rank bit-identical results.
+	acc := make([]float64, len(xs))
+	for src := 0; src < c.Size(); src++ {
+		if src == c.Rank() {
+			for i := range acc {
+				acc[i] += xs[i]
+			}
+			continue
+		}
+		b := in[src]
+		if len(b) != len(payload) {
+			return fmt.Errorf("comm: histogram length mismatch from rank %d: %d vs %d", src, len(b), len(payload))
+		}
+		for i := range acc {
+			acc[i] += math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	}
+	copy(xs, acc)
+	return nil
+}
+
+// AllReduceUint64Slice element-wise sums a fixed-length uint64 vector.
+func (c *Comm) AllReduceUint64Slice(xs []uint64) error {
+	payload := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(payload[8*i:], x)
+	}
+	in, err := c.broadcastSame(payload)
+	if err != nil {
+		return err
+	}
+	for src, b := range in {
+		if src == c.Rank() {
+			continue
+		}
+		if len(b) != len(payload) {
+			return fmt.Errorf("comm: vector length mismatch from rank %d", src)
+		}
+		for i := range xs {
+			xs[i] += binary.LittleEndian.Uint64(b[8*i:])
+		}
+	}
+	return nil
+}
+
+// AllGatherUint32 concatenates each rank's slice in rank order; every rank
+// receives the full concatenation. Used to assemble per-level assignment
+// vectors for result reporting.
+func (c *Comm) AllGatherUint32(xs []uint32) ([][]uint32, error) {
+	payload := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(payload[4*i:], x)
+	}
+	in, err := c.broadcastSame(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint32, c.Size())
+	for src, b := range in {
+		if src == c.Rank() {
+			out[src] = xs
+			continue
+		}
+		if len(b)%4 != 0 {
+			return nil, fmt.Errorf("comm: ragged gather payload from rank %d", src)
+		}
+		v := make([]uint32, len(b)/4)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+		out[src] = v
+	}
+	return out, nil
+}

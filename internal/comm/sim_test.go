@@ -1,0 +1,211 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runSimGroup drives rank bodies under the sim protocol (WaitTurn/Close).
+func runSimGroup(t *testing.T, trs []Transport, body func(c *Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(trs))
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			defer tr.Close()
+			if tw, ok := tr.(interface{ WaitTurn() error }); ok {
+				if err := tw.WaitTurn(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			errs[i] = body(New(tr))
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func TestSimExchangeDelivery(t *testing.T) {
+	trs := SimGroup(3, CostModel{})
+	runSimGroup(t, trs, func(c *Comm) error {
+		for round := 0; round < 4; round++ {
+			out := make([][]byte, c.Size())
+			for dst := range out {
+				out[dst] = []byte(fmt.Sprintf("%d->%d@%d", c.Rank(), dst, round))
+			}
+			in, err := c.Exchange(out)
+			if err != nil {
+				return err
+			}
+			for src, b := range in {
+				want := fmt.Sprintf("%d->%d@%d", src, c.Rank(), round)
+				if string(b) != want {
+					return fmt.Errorf("got %q want %q", b, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestSimCollectives(t *testing.T) {
+	trs := SimGroup(4, CostModel{})
+	runSimGroup(t, trs, func(c *Comm) error {
+		sum, err := c.AllReduceFloat64(float64(c.Rank()+1), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		return nil
+	})
+}
+
+func TestSimClockAdvances(t *testing.T) {
+	trs := SimGroup(2, CostModel{Alpha: time.Millisecond, BetaNsPerByte: 1})
+	var final time.Duration
+	runSimGroup(t, trs, func(c *Comm) error {
+		for i := 0; i < 5; i++ {
+			if _, err := c.Exchange(make([][]byte, 2)); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			d, ok := c.SimNow()
+			if !ok {
+				return fmt.Errorf("SimNow not supported")
+			}
+			final = d
+		}
+		return nil
+	})
+	// 5 rounds x 1ms alpha minimum.
+	if final < 5*time.Millisecond {
+		t.Errorf("sim clock %v, want >= 5ms of alpha alone", final)
+	}
+}
+
+func TestSimSerializedCompute(t *testing.T) {
+	// At most one rank computes at a time: a shared counter incremented
+	// at segment start and decremented at exchange entry must never
+	// exceed 1.
+	const ranks = 4
+	trs := SimGroup(ranks, CostModel{})
+	var mu sync.Mutex
+	computing := 0
+	maxComputing := 0
+	runSimGroup(t, trs, func(c *Comm) error {
+		for round := 0; round < 3; round++ {
+			mu.Lock()
+			computing++
+			if computing > maxComputing {
+				maxComputing = computing
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond) // simulate work
+			mu.Lock()
+			computing--
+			mu.Unlock()
+			if _, err := c.Exchange(make([][]byte, ranks)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if maxComputing != 1 {
+		t.Errorf("observed %d concurrent compute segments, want 1", maxComputing)
+	}
+}
+
+func TestSimMemNowUnsupported(t *testing.T) {
+	trs := NewMemGroup(1)
+	c := New(trs[0])
+	if _, ok := c.SimNow(); ok {
+		t.Error("mem transport claims a sim clock")
+	}
+}
+
+func TestSimRankCountOne(t *testing.T) {
+	trs := SimGroup(1, CostModel{})
+	runSimGroup(t, trs, func(c *Comm) error {
+		in, err := c.Exchange([][]byte{[]byte("x")})
+		if err != nil {
+			return err
+		}
+		if string(in[0]) != "x" {
+			return fmt.Errorf("self plane %q", in[0])
+		}
+		return nil
+	})
+}
+
+func TestSimRankDeathDoesNotHang(t *testing.T) {
+	// Rank 1 exits after one round; rank 0 keeps exchanging and must see
+	// empty planes rather than hang.
+	trs := SimGroup(2, CostModel{})
+	done := make(chan error, 2)
+	go func() {
+		tr := trs[0]
+		if tw, ok := tr.(interface{ WaitTurn() error }); ok {
+			if err := tw.WaitTurn(); err != nil {
+				done <- err
+				return
+			}
+		}
+		c := New(tr)
+		for i := 0; i < 3; i++ {
+			in, err := c.Exchange([][]byte{[]byte("a"), []byte("b")})
+			if err != nil {
+				done <- err
+				return
+			}
+			if i > 0 && len(in[1]) != 0 {
+				done <- fmt.Errorf("round %d: dead rank sent %q", i, in[1])
+				return
+			}
+		}
+		tr.Close()
+		done <- nil
+	}()
+	go func() {
+		tr := trs[1]
+		if tw, ok := tr.(interface{ WaitTurn() error }); ok {
+			if err := tw.WaitTurn(); err != nil {
+				done <- err
+				return
+			}
+		}
+		c := New(tr)
+		_, err := c.Exchange(make([][]byte, 2))
+		tr.Close() // dies after one round
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("sim group hung after rank death")
+		}
+	}
+}
+
+func TestSimExchangeAfterOwnClose(t *testing.T) {
+	trs := SimGroup(1, CostModel{})
+	trs[0].Close()
+	if _, err := trs[0].Exchange([][]byte{nil}); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,261 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// tcpTransport implements Transport over a full mesh of TCP connections:
+// each ordered pair (src, dst) has one dedicated connection carrying src's
+// planes to dst, framed as [uint64 length][payload]. Because every rank
+// sends exactly one frame per peer per round, the per-connection FIFO order
+// gives the same per-source round alignment as the in-process transport.
+type tcpTransport struct {
+	rank, size int
+	ln         net.Listener
+	outConns   []net.Conn      // outConns[dst], nil for self
+	outBufs    []*bufio.Writer // matching buffered writers
+	inConns    []net.Conn      // inConns[src], nil for self
+	inBufs     []*bufio.Reader // matching buffered readers
+	closed     bool
+}
+
+// TCPConfig configures a TCP rank group.
+type TCPConfig struct {
+	// Rank and Addrs: this process is rank Rank and Addrs[i] is the
+	// listen address of rank i (host:port).
+	Rank  int
+	Addrs []string
+	// DialTimeout bounds the whole mesh setup (default 30s).
+	DialTimeout time.Duration
+}
+
+// NewTCP creates the transport for one rank of a TCP group. It listens on
+// Addrs[Rank], dials every peer, and returns once the full mesh is
+// established. All ranks of the group must call NewTCP concurrently.
+func NewTCP(cfg TCPConfig) (Transport, error) {
+	size := len(cfg.Addrs)
+	if cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d addrs", cfg.Rank, size)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(cfg.DialTimeout)
+
+	t := &tcpTransport{
+		rank:     cfg.Rank,
+		size:     size,
+		outConns: make([]net.Conn, size),
+		outBufs:  make([]*bufio.Writer, size),
+		inConns:  make([]net.Conn, size),
+		inBufs:   make([]*bufio.Reader, size),
+	}
+	if size == 1 {
+		return t, nil
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+	}
+	t.ln = ln
+
+	// Accept incoming connections concurrently with dialing out.
+	acceptErr := make(chan error, 1)
+	go func() {
+		for n := 0; n < size-1; n++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			var hello [8]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				acceptErr <- fmt.Errorf("comm: bad hello: %w", err)
+				return
+			}
+			src := int(binary.LittleEndian.Uint64(hello[:]))
+			if src < 0 || src >= size || src == cfg.Rank || t.inConns[src] != nil {
+				acceptErr <- fmt.Errorf("comm: invalid hello rank %d", src)
+				return
+			}
+			t.inConns[src] = conn
+			t.inBufs[src] = bufio.NewReaderSize(conn, 1<<16)
+		}
+		acceptErr <- nil
+	}()
+
+	// Dial every peer, retrying until it is listening or the timeout hits.
+	for dst := 0; dst < size; dst++ {
+		if dst == cfg.Rank {
+			continue
+		}
+		var conn net.Conn
+		for {
+			conn, err = net.DialTimeout("tcp", cfg.Addrs[dst], time.Until(deadline))
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Close()
+				return nil, fmt.Errorf("comm: rank %d dial rank %d (%s): %w", cfg.Rank, dst, cfg.Addrs[dst], err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var hello [8]byte
+		binary.LittleEndian.PutUint64(hello[:], uint64(cfg.Rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("comm: rank %d hello to %d: %w", cfg.Rank, dst, err)
+		}
+		t.outConns[dst] = conn
+		t.outBufs[dst] = bufio.NewWriterSize(conn, 1<<16)
+	}
+
+	select {
+	case err := <-acceptErr:
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+	case <-time.After(time.Until(deadline)):
+		t.Close()
+		return nil, fmt.Errorf("comm: rank %d timed out accepting peers", cfg.Rank)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) Rank() int { return t.rank }
+func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
+	if t.closed {
+		return nil, ErrClosed
+	}
+	in := make([][]byte, t.size)
+	// Self-delivery.
+	if t.rank < len(out) && out[t.rank] != nil {
+		in[t.rank] = append([]byte(nil), out[t.rank]...)
+	} else {
+		in[t.rank] = []byte{}
+	}
+	if t.size == 1 {
+		return in, nil
+	}
+
+	// Send and receive concurrently: serialized sends could deadlock
+	// against a peer whose socket buffers are full of its own sends.
+	errc := make(chan error, 2)
+	go func() {
+		for dst := 0; dst < t.size; dst++ {
+			if dst == t.rank {
+				continue
+			}
+			var plane []byte
+			if dst < len(out) {
+				plane = out[dst]
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint64(hdr[:], uint64(len(plane)))
+			if _, err := t.outBufs[dst].Write(hdr[:]); err != nil {
+				errc <- fmt.Errorf("comm: send header to %d: %w", dst, err)
+				return
+			}
+			if _, err := t.outBufs[dst].Write(plane); err != nil {
+				errc <- fmt.Errorf("comm: send to %d: %w", dst, err)
+				return
+			}
+			if err := t.outBufs[dst].Flush(); err != nil {
+				errc <- fmt.Errorf("comm: flush to %d: %w", dst, err)
+				return
+			}
+		}
+		errc <- nil
+	}()
+	go func() {
+		const maxPlane = 1 << 33
+		for src := 0; src < t.size; src++ {
+			if src == t.rank {
+				continue
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(t.inBufs[src], hdr[:]); err != nil {
+				errc <- fmt.Errorf("comm: recv header from %d: %w", src, err)
+				return
+			}
+			n := binary.LittleEndian.Uint64(hdr[:])
+			if n > maxPlane {
+				errc <- fmt.Errorf("comm: implausible plane size %d from %d", n, src)
+				return
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(t.inBufs[src], buf); err != nil {
+				errc <- fmt.Errorf("comm: recv from %d: %w", src, err)
+				return
+			}
+			in[src] = buf
+		}
+		errc <- nil
+	}()
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+	return in, nil
+}
+
+func (t *tcpTransport) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range t.outConns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range t.inConns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// LocalAddrs returns n distinct loopback listen addresses with
+// kernel-assigned free ports, for starting an in-machine TCP group.
+func LocalAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	// Release the ports for the ranks to re-bind. This is briefly racy
+	// (another process could steal a port) but fine for tests/examples.
+	for _, l := range lns {
+		l.Close()
+	}
+	return addrs, nil
+}

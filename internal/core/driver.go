@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/par"
+)
+
+// RunInProcess simulates a rank group on one machine: it splits el across
+// `ranks` in-process transports, runs Parallel on one goroutine per rank,
+// and returns rank 0's result. n <= 0 infers the vertex count from el.
+// This is the driver behind all single-machine experiments; the TCP path
+// (cmd/louvaind) uses Parallel directly.
+func RunInProcess(el graph.EdgeList, n, ranks int, opt Options) (*Result, error) {
+	if ranks <= 0 {
+		ranks = 1
+	}
+	if n <= 0 {
+		n = el.NumVertices()
+	}
+	parts := graph.SplitEdges(el, ranks)
+	trs := comm.NewMemGroup(ranks)
+	results := make([]*Result, ranks)
+	var g par.Group
+	for r := 0; r < ranks; r++ {
+		r := r
+		g.Go(func() error {
+			res, err := Parallel(comm.New(trs[r]), parts[r], n, opt)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			results[r] = res
+			return nil
+		})
+	}
+	err := g.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Ranks run in lockstep; fold their phase breakdowns with max so the
+	// reported times are wall-clock.
+	for r := 1; r < ranks; r++ {
+		results[0].Breakdown.Max(results[r].Breakdown)
+	}
+	return results[0], nil
+}
+
+// RunSimulated runs the rank group on the serialized BSP-model transport
+// (comm.SimGroup): algorithm results are identical to RunInProcess, and the
+// returned Result additionally carries SimDuration/SimFirstLevel — the
+// simulated parallel makespans used by the scaling experiments on hosts
+// whose real core count cannot exhibit parallel speedup (see DESIGN.md §2).
+func RunSimulated(el graph.EdgeList, n, ranks int, opt Options, model comm.CostModel) (*Result, error) {
+	if ranks <= 0 {
+		ranks = 1
+	}
+	if n <= 0 {
+		n = el.NumVertices()
+	}
+	// Intra-rank threads would break the one-at-a-time measurement
+	// premise of the simulated transport.
+	opt.Threads = 1
+	parts := graph.SplitEdges(el, ranks)
+	trs := comm.SimGroup(ranks, model)
+	results := make([]*Result, ranks)
+	var g par.Group
+	for r := 0; r < ranks; r++ {
+		r := r
+		g.Go(func() error {
+			defer trs[r].Close()
+			if tw, ok := trs[r].(interface{ WaitTurn() error }); ok {
+				if err := tw.WaitTurn(); err != nil {
+					return fmt.Errorf("rank %d: %w", r, err)
+				}
+			}
+			res, err := Parallel(comm.New(trs[r]), parts[r], n, opt)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			results[r] = res
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for r := 1; r < ranks; r++ {
+		results[0].Breakdown.Max(results[r].Breakdown)
+		if results[r].SimDuration > results[0].SimDuration {
+			results[0].SimDuration = results[r].SimDuration
+		}
+	}
+	return results[0], nil
+}

@@ -1,0 +1,1011 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/edgetable"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+	"parlouvain/internal/par"
+	"parlouvain/internal/perf"
+)
+
+// Parallel runs the distributed Louvain algorithm (Algorithm 2) as one rank
+// of the group behind c. local is this rank's portion of the input in
+// destination-owned orientation — entry (U=src, V=dst, W) with owner(dst)
+// == rank — as produced by graph.SplitEdges (self-loops delivered once).
+// n is the global vertex count. Every rank receives an identical Result.
+func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.Warm != nil {
+		if len(opt.Warm) != n {
+			return nil, fmt.Errorf("core: warm-start assignment covers %d of %d vertices", len(opt.Warm), n)
+		}
+		for v, c := range opt.Warm {
+			if int(c) >= n {
+				return nil, fmt.Errorf("core: warm-start label %d of vertex %d outside id space %d", c, v, n)
+			}
+		}
+	}
+	s := newParState(c, n, opt)
+	if err := s.loadLocal(local); err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// parState is one rank's working state. Vertex and community ids share the
+// global id space [0,n); this rank owns ids congruent to its rank mod P and
+// indexes them densely by id/P ("local index"). In_ and Out_ tables are
+// sharded by local index so worker threads scan disjoint vertex sets.
+type parState struct {
+	c    *comm.Comm
+	opt  Options
+	part graph.Partition
+	n    int
+	nLoc int
+
+	in  []*edgetable.Table // (src,dst) -> w, dst owned; self-loops doubled
+	out []*edgetable.Table // (u,comm)  -> w_{u->comm}, u owned
+
+	// remoteTot and remoteMembers cache Σtot and the member count for
+	// every community referenced by this rank's Out_Table entries,
+	// refreshed by each state propagation. Member counts feed the
+	// singleton minimum-label rule that breaks symmetric swap cycles
+	// (see findBest).
+	remoteTot     *edgetable.Table
+	remoteMembers *edgetable.Table
+
+	active []bool
+	commOf []graph.V
+	k      []float64
+	self2  []float64 // doubled self-loop weight of owned vertices
+	totOwn []float64 // Σtot of owned communities
+	memOwn []int64   // member count of owned communities
+	inOwn  []float64 // Σin of owned communities (per-Q scratch)
+
+	// Per-level CSR of the owned vertices' in-edges, derived from the
+	// In_Table at levelInit. It serves two purposes: sequential-access
+	// scans for the full state propagation, and per-vertex source lists
+	// for delta propagation (only the in-edges of vertices that moved
+	// are rebroadcast, so late low-movement iterations are cheap).
+	adjOff []int64
+	adjSrc []graph.V
+	adjW   []float64
+
+	// moveLog records the current iteration's moves for delta
+	// propagation.
+	moveLog []moveRec
+
+	stay     []float64
+	bestTo   []graph.V
+	bestGain []float64
+
+	// Best-state snapshot within a level: parallel moves on stale
+	// information can transiently lower Q before recovering, so the
+	// inner loop runs until the decayed threshold stops all movement and
+	// the level then rolls back to its best observed state. All
+	// snapshotted state is rank-local, and snapshots are taken at the
+	// same iteration on every rank, so restoring is globally consistent.
+	bestSnapQ   float64
+	snapComm    []graph.V
+	snapTot     []float64
+	snapMembers []int64
+
+	// Reusable per-destination send buffers (one plane per rank),
+	// reset at the start of every exchange-building pass.
+	sendBufs []comm.Buffer
+	planes   [][]byte
+
+	m  float64
+	bd *perf.Breakdown
+}
+
+func newParState(c *comm.Comm, n int, opt Options) *parState {
+	part := graph.Partition{Rank: c.Rank(), Size: c.Size()}
+	nLoc := part.MaxLocalCount(n)
+	s := &parState{
+		c:        c,
+		opt:      opt,
+		part:     part,
+		n:        n,
+		nLoc:     nLoc,
+		active:   make([]bool, nLoc),
+		commOf:   make([]graph.V, nLoc),
+		k:        make([]float64, nLoc),
+		self2:    make([]float64, nLoc),
+		totOwn:   make([]float64, nLoc),
+		memOwn:   make([]int64, nLoc),
+		inOwn:    make([]float64, nLoc),
+		stay:     make([]float64, nLoc),
+		bestTo:   make([]graph.V, nLoc),
+		bestGain: make([]float64, nLoc),
+		bd:       perf.NewBreakdown(),
+	}
+	tcfg := func(capHint int) edgetable.Config {
+		return edgetable.Config{
+			Hash:       opt.Hash,
+			Layout:     opt.TableLayout,
+			LoadFactor: opt.LoadFactor,
+			Capacity:   capHint,
+		}
+	}
+	s.in = make([]*edgetable.Table, opt.Threads)
+	s.out = make([]*edgetable.Table, opt.Threads)
+	for t := 0; t < opt.Threads; t++ {
+		s.in[t] = edgetable.New(tcfg(1024))
+		s.out[t] = edgetable.New(tcfg(1024))
+	}
+	s.remoteTot = edgetable.New(tcfg(256))
+	s.remoteMembers = edgetable.New(tcfg(256))
+	s.sendBufs = make([]comm.Buffer, c.Size())
+	s.planes = make([][]byte, c.Size())
+	return s
+}
+
+// outBufs resets and returns the per-destination send buffers.
+func (s *parState) outBufs() []comm.Buffer {
+	for i := range s.sendBufs {
+		s.sendBufs[i].Reset()
+	}
+	return s.sendBufs
+}
+
+// exchange ships the current send buffers and returns the received planes.
+func (s *parState) exchange(bufs []comm.Buffer) ([][]byte, error) {
+	for i := range bufs {
+		s.planes[i] = bufs[i].Bytes()
+	}
+	return s.c.Exchange(s.planes)
+}
+
+func (s *parState) shardOf(localIdx int) int { return localIdx % s.opt.Threads }
+
+// loadLocal fills the In_Table from this rank's input edges. Self-loop
+// weights are doubled on insertion so that the degree of a vertex is simply
+// the sum of its in-entries (DESIGN.md §5); the doubling is consistent
+// across levels because graph reconstruction regenerates (c,c) entries
+// already doubled.
+func (s *parState) loadLocal(local graph.EdgeList) error {
+	for _, e := range local {
+		if !s.part.Owns(e.V) {
+			return fmt.Errorf("core: rank %d given edge with dst %d owned by rank %d", s.part.Rank, e.V, s.part.Owner(e.V))
+		}
+		if int(e.V) >= s.n || int(e.U) >= s.n {
+			return fmt.Errorf("core: edge (%d,%d) outside vertex space %d", e.U, e.V, s.n)
+		}
+		w := e.W
+		if e.U == e.V {
+			w *= 2
+		}
+		li := s.part.LocalIndex(e.V)
+		s.in[s.shardOf(li)].AddPair(e.U, e.V, w)
+	}
+	return nil
+}
+
+// levelInit derives per-vertex state from the current In_Table and returns
+// the global number of active vertices. It is called at the start of every
+// level (the In_Table is the level's graph).
+func (s *parState) levelInit() (uint64, error) {
+	for i := 0; i < s.nLoc; i++ {
+		s.active[i] = false
+		s.k[i] = 0
+		s.self2[i] = 0
+		s.totOwn[i] = 0
+		s.commOf[i] = s.part.GlobalID(i)
+	}
+	if cap(s.adjOff) >= s.nLoc+1 {
+		s.adjOff = s.adjOff[:s.nLoc+1]
+		for i := range s.adjOff {
+			s.adjOff[i] = 0
+		}
+	} else {
+		s.adjOff = make([]int64, s.nLoc+1)
+	}
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		s.in[t].Range(func(key uint64, w float64) bool {
+			src, dst := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(dst)
+			s.active[li] = true
+			s.k[li] += w
+			s.adjOff[li+1]++
+			if src == dst {
+				s.self2[li] = w
+			}
+			return true
+		})
+	})
+	var localK float64
+	var localActive uint64
+	for i := 0; i < s.nLoc; i++ {
+		s.memOwn[i] = 0
+		if s.active[i] {
+			localK += s.k[i]
+			s.totOwn[i] = s.k[i]
+			s.memOwn[i] = 1
+			localActive++
+		}
+	}
+	// Build the in-edge CSR (second pass over the In_Table).
+	for i := 0; i < s.nLoc; i++ {
+		s.adjOff[i+1] += s.adjOff[i]
+	}
+	total := int(s.adjOff[s.nLoc])
+	if cap(s.adjSrc) >= total {
+		s.adjSrc = s.adjSrc[:total]
+		s.adjW = s.adjW[:total]
+	} else {
+		s.adjSrc = make([]graph.V, total)
+		s.adjW = make([]float64, total)
+	}
+	fill := make([]int64, s.nLoc)
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		s.in[t].Range(func(key uint64, w float64) bool {
+			src, dst := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(dst)
+			p := s.adjOff[li] + fill[li]
+			s.adjSrc[p] = src
+			s.adjW[p] = w
+			fill[li]++
+			return true
+		})
+	})
+	twoM, err := s.c.AllReduceFloat64(localK, comm.OpSum)
+	if err != nil {
+		return 0, err
+	}
+	s.m = twoM / 2
+	return s.c.AllReduceUint64(localActive, comm.OpSum)
+}
+
+// propagate is Algorithm 3 plus the Σtot pull that Equation 4 requires:
+// (1) every in-edge (v,u) is translated to ((v, comm[u]), w) and delivered
+// to owner(v), rebuilding the Out_Table; (2) the set of communities this
+// rank now references is sent to their owners, which reply with Σtot.
+func (s *parState) propagate() error {
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Reset()
+	}
+	bufs := s.outBufs()
+	for li := 0; li < s.nLoc; li++ {
+		if !s.active[li] {
+			continue
+		}
+		cc := uint32(s.commOf[li])
+		for p := s.adjOff[li]; p < s.adjOff[li+1]; p++ {
+			src := s.adjSrc[p]
+			b := &bufs[s.part.Owner(src)]
+			b.PutU32(src)
+			b.PutU32(cc)
+			b.PutF64(s.adjW[p])
+		}
+	}
+	in, err := s.exchange(bufs)
+	if err != nil {
+		return err
+	}
+	// Insert received (u, c, w) into the Out_Table shard of u. Each
+	// worker decodes every plane but only handles its own shard, keeping
+	// inserts race-free and deterministic.
+	var decodeErr error
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		for _, plane := range in {
+			r := comm.NewReader(plane)
+			for r.More() {
+				u := r.U32()
+				cc := r.U32()
+				w := r.F64()
+				if r.Err() != nil {
+					break
+				}
+				li := s.part.LocalIndex(u)
+				if li%s.opt.Threads != t {
+					continue
+				}
+				s.out[t].AddPair(u, cc, w)
+			}
+			if err := r.Err(); err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+		}
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return s.pullTotals(true)
+}
+
+// propagateDelta refreshes the Out_Table incrementally after an update:
+// only the in-edges of vertices that changed community are rebroadcast,
+// moving their contribution from the old community's aggregation to the
+// new one. The Σtot cache is re-pulled in full (totals change even for
+// communities whose membership this rank did not touch).
+func (s *parState) propagateDelta() error {
+	bufs := s.outBufs()
+	for _, mv := range s.moveLog {
+		li := mv.li
+		oldC, newC := uint32(mv.oldC), uint32(s.commOf[li])
+		for p := s.adjOff[li]; p < s.adjOff[li+1]; p++ {
+			src := s.adjSrc[p]
+			b := &bufs[s.part.Owner(src)]
+			b.PutU32(src)
+			b.PutU32(oldC)
+			b.PutU32(newC)
+			b.PutF64(s.adjW[p])
+		}
+	}
+	in, err := s.exchange(bufs)
+	if err != nil {
+		return err
+	}
+	var decodeErr error
+	newComms := make([][]uint32, s.opt.Threads)
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		for _, plane := range in {
+			r := comm.NewReader(plane)
+			for r.More() {
+				u := r.U32()
+				oldC := r.U32()
+				newC := r.U32()
+				w := r.F64()
+				if r.Err() != nil {
+					break
+				}
+				li := s.part.LocalIndex(u)
+				if li%s.opt.Threads != t {
+					continue
+				}
+				s.out[t].AddPair(u, oldC, -w)
+				if s.out[t].AddPair(u, newC, w) {
+					newComms[t] = append(newComms[t], newC)
+				}
+			}
+			if err := r.Err(); err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+		}
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	// Extend the Σtot reference set with the newly-seen communities; the
+	// existing keys are kept, so no Out_Table rescan is needed.
+	for _, ccs := range newComms {
+		for _, cc := range ccs {
+			s.remoteTot.Set(uint64(cc), 0)
+		}
+	}
+	return s.pullTotals(false)
+}
+
+// pullTotals refreshes remoteTot and remoteMembers with the Σtot and
+// member count of every community that appears in the Out_Table or as an
+// owned vertex's current community.
+func (s *parState) pullTotals(rescan bool) error {
+	// The remoteTot table itself deduplicates the request set: every
+	// referenced community is inserted once with a zero placeholder,
+	// then overwritten by its owner's response. After a delta
+	// propagation that introduced no new (vertex, community) keys, the
+	// reference set is unchanged and the rescan is skipped — only the
+	// values are refreshed.
+	if rescan {
+		s.remoteTot.Reset()
+		s.remoteMembers.Reset()
+		for t := 0; t < s.opt.Threads; t++ {
+			s.out[t].Range(func(key uint64, _ float64) bool {
+				_, cc := hashfn.Unpack32(key)
+				s.remoteTot.Set(uint64(cc), 0)
+				return true
+			})
+		}
+		for li := 0; li < s.nLoc; li++ {
+			if s.active[li] {
+				s.remoteTot.Set(uint64(s.commOf[li]), 0)
+			}
+		}
+	}
+	req := s.outBufs()
+	s.remoteTot.Range(func(key uint64, _ float64) bool {
+		req[s.part.Owner(graph.V(key))].PutU32(uint32(key))
+		return true
+	})
+	reqs, err := s.exchange(req)
+	if err != nil {
+		return err
+	}
+	resp := s.outBufs()
+	for src, plane := range reqs {
+		r := comm.NewReader(plane)
+		for r.More() {
+			cc := r.U32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			li := s.part.LocalIndex(cc)
+			resp[src].PutU32(cc)
+			resp[src].PutF64(s.totOwn[li])
+			resp[src].PutF64(float64(s.memOwn[li]))
+		}
+	}
+	resps, err := s.exchange(resp)
+	if err != nil {
+		return err
+	}
+	for _, plane := range resps {
+		r := comm.NewReader(plane)
+		for r.More() {
+			cc := r.U32()
+			tot := r.F64()
+			members := r.F64()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			s.remoteTot.Set(uint64(cc), tot)
+			s.remoteMembers.Set(uint64(cc), members)
+		}
+	}
+	return nil
+}
+
+// findBest is Algorithm 4 lines 4-9: for every owned active vertex, find
+// the neighbor community with the highest relative modularity gain m_u
+// over staying put. Threads work on disjoint Out_Table shards.
+func (s *parState) findBest() {
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		// Baseline: the gain of re-joining the current community.
+		for li := t; li < s.nLoc; li += s.opt.Threads {
+			if !s.active[li] {
+				continue
+			}
+			c0 := s.commOf[li]
+			tot0, _ := s.remoteTot.Get(uint64(c0))
+			w0, _ := s.out[t].GetPair(uint32(s.part.GlobalID(li)), uint32(c0))
+			s.stay[li] = dq(w0-s.self2[li], tot0-s.k[li], s.k[li], s.m)
+			s.bestGain[li] = 0
+			s.bestTo[li] = c0
+		}
+		s.out[t].Range(func(key uint64, w float64) bool {
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			c0 := s.commOf[li]
+			if !s.active[li] || graph.V(cc) == c0 {
+				return true
+			}
+			// Singleton minimum-label rule (Grappolo-style, the paper's
+			// ref [11]): when a vertex alone in its community targets
+			// another singleton community with a larger label, suppress
+			// the move. Without this, symmetric pairs swap communities
+			// forever and never merge.
+			if graph.V(cc) > c0 {
+				if mems, _ := s.remoteMembers.Get(uint64(c0)); mems == 1 {
+					if tmems, _ := s.remoteMembers.Get(uint64(cc)); tmems == 1 {
+						return true
+					}
+				}
+			}
+			tot, _ := s.remoteTot.Get(uint64(cc))
+			g := dq(w, tot, s.k[li], s.m) - s.stay[li]
+			if g > s.bestGain[li] || (g == s.bestGain[li] && g > 0 && graph.V(cc) < s.bestTo[li]) {
+				s.bestGain[li] = g
+				s.bestTo[li] = graph.V(cc)
+			}
+			return true
+		})
+	})
+}
+
+// dq is Equation 4.
+func dq(wUToC, sumTot, ku, m float64) float64 {
+	return wUToC/m - sumTot*ku/(2*m*m)
+}
+
+type moveRec struct {
+	li   int
+	oldC graph.V
+}
+
+// snapshot records the current level state as the best seen so far.
+func (s *parState) snapshot(q float64) {
+	if s.snapComm == nil {
+		s.snapComm = make([]graph.V, s.nLoc)
+		s.snapTot = make([]float64, s.nLoc)
+		s.snapMembers = make([]int64, s.nLoc)
+	}
+	copy(s.snapComm, s.commOf)
+	copy(s.snapTot, s.totOwn)
+	copy(s.snapMembers, s.memOwn)
+	s.bestSnapQ = q
+}
+
+// restore rolls the level back to the snapshotted best state.
+func (s *parState) restore() {
+	copy(s.commOf, s.snapComm)
+	copy(s.totOwn, s.snapTot)
+	copy(s.memOwn, s.snapMembers)
+}
+
+// threshold computes ΔQ̂ for this iteration: build the global gain
+// histogram, then pick the cut that admits the top ε(iter) fraction of the
+// active vertices (Section IV-B). Naive mode admits every positive gain.
+func (s *parState) threshold(iter int, activeTotal uint64) (float64, error) {
+	if s.opt.Naive {
+		// Still needs a collective so all ranks stay in lockstep on the
+		// same number of exchange rounds per iteration.
+		if err := s.c.Barrier(); err != nil {
+			return 0, err
+		}
+		return minMoveGain, nil
+	}
+	var h gainHistogram
+	for li := 0; li < s.nLoc; li++ {
+		if s.active[li] && s.bestGain[li] > 0 {
+			h.add(s.bestGain[li])
+		}
+	}
+	if err := s.c.AllReduceUint64Slice(h.counts[:]); err != nil {
+		return 0, err
+	}
+	eps := s.opt.Epsilon(iter)
+	if eps < 0 {
+		eps = 0
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	// The threshold limits *concurrent* movement; it must never block
+	// the best moves outright, so the target floors at ~1% of the active
+	// vertices (at least one): enough for the post-decay tail to make
+	// real progress per iteration while still damping oscillation.
+	target := uint64(eps * float64(activeTotal))
+	if floor := activeTotal / 100; target < floor {
+		target = floor
+	}
+	if target == 0 {
+		target = 1
+	}
+	return h.threshold(target), nil
+}
+
+// update is Algorithm 4 lines 13-15: apply the admitted moves and ship the
+// Σtot deltas to the community owners.
+func (s *parState) update(dqHat float64) (uint64, error) {
+	bufs := s.outBufs()
+	var moved uint64
+	s.moveLog = s.moveLog[:0]
+	for li := 0; li < s.nLoc; li++ {
+		if !s.active[li] {
+			continue
+		}
+		g := s.bestGain[li]
+		if g < dqHat || g < minMoveGain {
+			continue
+		}
+		newC := s.bestTo[li]
+		oldC := s.commOf[li]
+		if newC == oldC {
+			continue
+		}
+		s.commOf[li] = newC
+		s.moveLog = append(s.moveLog, moveRec{li, oldC})
+		moved++
+		bo := &bufs[s.part.Owner(oldC)]
+		bo.PutU32(uint32(oldC))
+		bo.PutF64(-s.k[li])
+		bn := &bufs[s.part.Owner(newC)]
+		bn.PutU32(uint32(newC))
+		bn.PutF64(s.k[li])
+	}
+	in, err := s.exchange(bufs)
+	if err != nil {
+		return 0, err
+	}
+	for _, plane := range in {
+		r := comm.NewReader(plane)
+		for r.More() {
+			cc := r.U32()
+			d := r.F64()
+			if err := r.Err(); err != nil {
+				return 0, err
+			}
+			li := s.part.LocalIndex(cc)
+			s.totOwn[li] += d
+			if d < 0 {
+				s.memOwn[li]--
+			} else {
+				s.memOwn[li]++
+			}
+		}
+	}
+	return s.c.AllReduceUint64(moved, comm.OpSum)
+}
+
+// applyWarm moves every owned vertex from its singleton community into its
+// warm-start community, shipping the same Σtot/member deltas as a regular
+// update. Called once, right after the first levelInit.
+func (s *parState) applyWarm() error {
+	bufs := s.outBufs()
+	for li := 0; li < s.nLoc; li++ {
+		if !s.active[li] {
+			continue
+		}
+		target := s.opt.Warm[s.part.GlobalID(li)]
+		oldC := s.commOf[li]
+		if target == oldC {
+			continue
+		}
+		s.commOf[li] = target
+		bo := &bufs[s.part.Owner(oldC)]
+		bo.PutU32(uint32(oldC))
+		bo.PutF64(-s.k[li])
+		bn := &bufs[s.part.Owner(target)]
+		bn.PutU32(uint32(target))
+		bn.PutF64(s.k[li])
+	}
+	in, err := s.exchange(bufs)
+	if err != nil {
+		return err
+	}
+	for _, plane := range in {
+		r := comm.NewReader(plane)
+		for r.More() {
+			cc := r.U32()
+			d := r.F64()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			li := s.part.LocalIndex(cc)
+			s.totOwn[li] += d
+			if d < 0 {
+				s.memOwn[li]--
+			} else {
+				s.memOwn[li]++
+			}
+		}
+	}
+	return nil
+}
+
+// computeQ is Algorithm 4 lines 17-25: gather Σin at community owners and
+// reduce the global modularity.
+func (s *parState) computeQ() (float64, error) {
+	for i := range s.inOwn {
+		s.inOwn[i] = 0
+	}
+	bufs := s.outBufs()
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Range(func(key uint64, w float64) bool {
+			if w == 0 {
+				return true // emptied by delta propagation
+			}
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			if !s.active[li] || s.commOf[li] != graph.V(cc) {
+				return true
+			}
+			b := &bufs[s.part.Owner(graph.V(cc))]
+			b.PutU32(cc)
+			b.PutF64(w)
+			return true
+		})
+	}
+	in, err := s.exchange(bufs)
+	if err != nil {
+		return 0, err
+	}
+	for _, plane := range in {
+		r := comm.NewReader(plane)
+		for r.More() {
+			cc := r.U32()
+			w := r.F64()
+			if err := r.Err(); err != nil {
+				return 0, err
+			}
+			s.inOwn[s.part.LocalIndex(cc)] += w
+		}
+	}
+	twoM := 2 * s.m
+	var qLocal float64
+	for li := 0; li < s.nLoc; li++ {
+		if s.totOwn[li] <= 0 {
+			continue
+		}
+		qLocal += s.inOwn[li]/twoM - (s.totOwn[li]/twoM)*(s.totOwn[li]/twoM)
+	}
+	return s.c.AllReduceFloat64(qLocal, comm.OpSum)
+}
+
+// reconstruct is Algorithm 5: translate every Out_Table aggregation
+// ((u,c),w) into a supergraph in-edge ((comm[u], c), w) at owner(c),
+// rebuilding the In_Table for the next level.
+func (s *parState) reconstruct() error {
+	bufs := s.outBufs()
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Range(func(key uint64, w float64) bool {
+			if w == 0 {
+				return true // emptied by delta propagation
+			}
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			if !s.active[li] {
+				return true
+			}
+			b := &bufs[s.part.Owner(graph.V(cc))]
+			b.PutU32(uint32(s.commOf[li])) // src supervertex
+			b.PutU32(cc)                   // dst supervertex (owned by dest)
+			b.PutF64(w)
+			return true
+		})
+	}
+	for t := 0; t < s.opt.Threads; t++ {
+		s.in[t].Reset()
+	}
+	in, err := s.exchange(bufs)
+	if err != nil {
+		return err
+	}
+	var decodeErr error
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		for _, plane := range in {
+			r := comm.NewReader(plane)
+			for r.More() {
+				srcC := r.U32()
+				dstC := r.U32()
+				w := r.F64()
+				if r.Err() != nil {
+					break
+				}
+				li := s.part.LocalIndex(dstC)
+				if li%s.opt.Threads != t {
+					continue
+				}
+				s.in[t].AddPair(srcC, dstC, w)
+			}
+			if err := r.Err(); err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+		}
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Reset()
+	}
+	return nil
+}
+
+// gatherAssignments returns the full community vector of the current level
+// (every id in [0,n), inactive ids mapping to themselves).
+func (s *parState) gatherAssignments() ([]graph.V, error) {
+	mine := make([]uint32, s.nLoc)
+	for li := 0; li < s.nLoc; li++ {
+		mine[li] = uint32(s.commOf[li])
+	}
+	all, err := s.c.AllGatherUint32(mine)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]graph.V, s.n)
+	for r, xs := range all {
+		for li, v := range xs {
+			gid := li*s.c.Size() + r
+			if gid < s.n {
+				full[gid] = graph.V(v)
+			}
+		}
+	}
+	return full, nil
+}
+
+// run drives the outer loop (Algorithm 2).
+func (s *parState) run() (*Result, error) {
+	start := time.Now()
+	res := &Result{
+		NumVertices: s.n,
+		Breakdown:   s.bd,
+	}
+	membership := make([]graph.V, s.n)
+	for i := range membership {
+		membership[i] = graph.V(i)
+	}
+
+	vertices, err := s.levelInit()
+	if err != nil {
+		return nil, err
+	}
+	if s.opt.Warm != nil {
+		if err := s.applyWarm(); err != nil {
+			return nil, err
+		}
+	}
+	// Input edge count for TEPS: single-counted distinct entries.
+	var localEdges uint64
+	for t := 0; t < s.opt.Threads; t++ {
+		localEdges += uint64(s.in[t].Len())
+	}
+	totalEntries, err := s.c.AllReduceUint64(localEdges, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	res.NumEdges = int64(totalEntries / 2) // both orientations stored; self-loops undercount by half, acceptable for TEPS
+
+	if s.m == 0 {
+		res.Duration = time.Since(start)
+		res.Membership = membership
+		return res, nil
+	}
+
+	qLevelPrev := math.Inf(-1)
+	for level := 0; level < s.opt.MaxLevels; level++ {
+		refineStart := time.Now()
+		var sw perf.Stopwatch
+
+		sw.Start(s.bd, perf.PhasePropagation)
+		if err := s.propagate(); err != nil {
+			return nil, err
+		}
+		sw.Stop()
+		q, err := s.computeQ()
+		if err != nil {
+			return nil, err
+		}
+		s.snapshot(q)
+
+		var movesPerIter []int
+		sinceBest := 0
+		qMilestone := q
+		for iter := 1; iter <= s.opt.MaxInner; iter++ {
+			iterStart := time.Now()
+			sw.Start(s.bd, perf.PhaseFindBest)
+			s.findBest()
+			sw.Stop()
+			tFind := time.Since(iterStart)
+
+			tUpd := time.Now()
+			sw.Start(s.bd, perf.PhaseUpdate)
+			dqHat, err := s.threshold(iter, vertices)
+			if err != nil {
+				return nil, err
+			}
+			moved, err := s.update(dqHat)
+			if err != nil {
+				return nil, err
+			}
+			sw.Stop()
+			tUpdate := time.Since(tUpd)
+
+			// Early iterations move most vertices — a full rebuild is
+			// cheaper and keeps the Out_Table compact. Once movement
+			// drops below ~10% of the active set (every rank sees the
+			// same reduced count), incremental delta propagation wins.
+			tProp := time.Now()
+			sw.Start(s.bd, perf.PhasePropagation)
+			if moved*10 < vertices {
+				err = s.propagateDelta()
+			} else {
+				err = s.propagate()
+			}
+			if err != nil {
+				return nil, err
+			}
+			sw.Stop()
+			tPropagation := time.Since(tProp)
+			if s.opt.TraceTimings != nil && s.c.Rank() == 0 {
+				s.opt.TraceTimings(level, iter, tFind, tUpdate, tPropagation)
+			}
+
+			qNew, err := s.computeQ()
+			if err != nil {
+				return nil, err
+			}
+			movesPerIter = append(movesPerIter, int(moved))
+			if s.opt.TraceMoves != nil && s.c.Rank() == 0 {
+				s.opt.TraceMoves(level, iter, int(moved), int(vertices))
+			}
+			improved := qNew - q
+			q = qNew
+			if !s.opt.Naive {
+				if qNew > s.bestSnapQ {
+					s.snapshot(qNew)
+				}
+				if qNew > qMilestone+s.opt.ProgressGain {
+					qMilestone = qNew
+					sinceBest = 0
+				} else {
+					sinceBest++
+				}
+			}
+			if moved == 0 {
+				break
+			}
+			// Transient Q dips are expected under stale parallel
+			// information and recovered via the best-state snapshot; the
+			// level ends when the best state stops improving. The naive
+			// baseline has no snapshots and stops on lack of immediate
+			// improvement, as in Algorithm 4.
+			const patience = 5
+			if !s.opt.Naive && sinceBest >= patience {
+				break
+			}
+			if s.opt.Naive && improved < s.opt.MinGain {
+				break
+			}
+		}
+		if !s.opt.Naive && q < s.bestSnapQ {
+			// Roll the level back to its best observed state before
+			// reconstructing. All ranks observe the same reduced q and
+			// restore the same snapshot iteration.
+			s.restore()
+			sw.Start(s.bd, perf.PhasePropagation)
+			if err := s.propagate(); err != nil {
+				return nil, err
+			}
+			sw.Stop()
+			q = s.bestSnapQ
+		}
+		s.bd.Add(perf.PhaseRefine, time.Since(refineStart))
+
+		if s.opt.CollectLevels {
+			full, err := s.gatherAssignments()
+			if err != nil {
+				return nil, err
+			}
+			for orig := range membership {
+				membership[orig] = full[membership[orig]]
+			}
+		}
+
+		sw.Start(s.bd, perf.PhaseReconstruction)
+		if err := s.reconstruct(); err != nil {
+			return nil, err
+		}
+		sw.Stop()
+		communities, err := s.levelInit()
+		if err != nil {
+			return nil, err
+		}
+
+		lv := Level{
+			Q:               q,
+			Vertices:        int(vertices),
+			Communities:     int(communities),
+			InnerIterations: len(movesPerIter),
+			MovesPerIter:    movesPerIter,
+		}
+		if s.opt.CollectLevels {
+			lv.Membership = append([]graph.V(nil), membership...)
+		}
+		res.Levels = append(res.Levels, lv)
+		res.Q = q
+		if level == 0 {
+			res.FirstLevel = time.Since(start)
+			if sim, ok := s.c.SimNow(); ok {
+				res.SimFirstLevel = sim
+			}
+		}
+		if communities == vertices || q-qLevelPrev < s.opt.MinGain {
+			break
+		}
+		qLevelPrev = q
+		vertices = communities
+	}
+	if s.opt.CollectLevels {
+		res.Membership = membership
+	}
+	res.Duration = time.Since(start)
+	if sim, ok := s.c.SimNow(); ok {
+		res.SimDuration = sim
+	}
+	// Total traffic across the group (one extra collective each).
+	bytes, err := s.c.AllReduceUint64(s.c.BytesSent, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	res.CommBytes = bytes
+	res.CommRounds = s.c.Rounds
+	return res, nil
+}

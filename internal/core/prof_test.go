@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"parlouvain/internal/gen"
+)
+
+func BenchmarkProfilePar(b *testing.B) {
+	el, _, _ := gen.LFR(gen.DefaultLFR(20000, 0.35, 2024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunInProcess(el, 20000, 8, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/metrics"
+)
+
+func TestSplitDisconnectedSplitsArtificialMerge(t *testing.T) {
+	// Two disjoint triangles forced into one community.
+	el := graph.EdgeList{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1}, {U: 5, V: 3, W: 1},
+	}
+	g := graph.Build(el, 0)
+	bad := []graph.V{9, 9, 9, 9, 9, 9}
+	refined, splits := SplitDisconnected(g, bad)
+	if splits != 1 {
+		t.Errorf("splits = %d, want 1", splits)
+	}
+	if refined[0] != refined[1] || refined[1] != refined[2] {
+		t.Errorf("triangle A split: %v", refined)
+	}
+	if refined[0] == refined[3] {
+		t.Errorf("disconnected parts not split: %v", refined)
+	}
+	// Splitting a disconnected community must raise modularity.
+	if qa, qb := metrics.Modularity(g, bad), metrics.Modularity(g, refined); qb <= qa {
+		t.Errorf("split did not improve Q: %v -> %v", qa, qb)
+	}
+}
+
+func TestSplitDisconnectedNoopOnConnected(t *testing.T) {
+	el, _, err := gen.RingOfCliques(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 0)
+	res := Sequential(g, Options{})
+	refined, splits := SplitDisconnected(g, res.Membership)
+	if splits != 0 {
+		t.Errorf("splits = %d on connected communities", splits)
+	}
+	// Same structure (labels may be renumbered).
+	sim, err := metrics.Compare(refined, res.Membership)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI != 1 {
+		t.Errorf("refinement changed connected communities: NMI %v", sim.NMI)
+	}
+}
+
+func TestSplitDisconnectedNeverLowersQ(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(800, 0.4, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 800)
+	res, err := RunInProcess(el, 800, 4, Options{CollectLevels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, _ := SplitDisconnected(g, res.Membership)
+	qa := metrics.Modularity(g, res.Membership)
+	qb := metrics.Modularity(g, refined)
+	if qb < qa-1e-12 {
+		t.Errorf("refinement lowered Q: %v -> %v", qa, qb)
+	}
+}
+
+func TestSplitDisconnectedIsolatedVertices(t *testing.T) {
+	g := graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}}, 4)
+	refined, _ := SplitDisconnected(g, []graph.V{0, 0, 0, 0})
+	if refined[0] != refined[1] {
+		t.Error("connected pair split")
+	}
+	if refined[2] == refined[0] || refined[3] == refined[2] {
+		t.Errorf("isolated vertices share labels: %v", refined)
+	}
+}

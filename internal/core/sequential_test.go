@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/metrics"
+)
+
+func twoTriangles() *graph.Graph {
+	return graph.Build(graph.EdgeList{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1}, {U: 5, V: 3, W: 1},
+		{U: 2, V: 3, W: 1},
+	}, 0)
+}
+
+func TestSequentialTwoTriangles(t *testing.T) {
+	g := twoTriangles()
+	res := Sequential(g, Options{})
+	if len(res.Levels) == 0 {
+		t.Fatal("no levels")
+	}
+	// Optimal: each triangle one community, Q = 6/7 - 1/2.
+	want := 6.0/7 - 0.5
+	if math.Abs(res.Q-want) > 1e-9 {
+		t.Errorf("Q = %v, want %v", res.Q, want)
+	}
+	m := res.Membership
+	if m[0] != m[1] || m[1] != m[2] || m[3] != m[4] || m[4] != m[5] {
+		t.Errorf("triangles split: %v", m)
+	}
+	if m[0] == m[3] {
+		t.Errorf("triangles merged: %v", m)
+	}
+}
+
+func TestSequentialRingOfCliques(t *testing.T) {
+	el, truth, err := gen.RingOfCliques(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 0)
+	res := Sequential(g, Options{})
+	if res.Q < 0.7 {
+		t.Errorf("Q = %v, want > 0.7", res.Q)
+	}
+	sim, err := metrics.Compare(res.Membership, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.99 {
+		t.Errorf("NMI vs planted cliques = %v, want ~1", sim.NMI)
+	}
+}
+
+func TestSequentialModularityNonDecreasingAcrossLevels(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(1000, 0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 1000)
+	res := Sequential(g, Options{CollectLevels: true})
+	if len(res.Levels) < 2 {
+		t.Fatalf("expected multiple levels, got %d", len(res.Levels))
+	}
+	for i := 1; i < len(res.Levels); i++ {
+		if res.Levels[i].Q < res.Levels[i-1].Q-1e-9 {
+			t.Errorf("Q decreased between levels %d and %d: %v -> %v",
+				i-1, i, res.Levels[i-1].Q, res.Levels[i].Q)
+		}
+	}
+	// Communities shrink monotonically.
+	for i := 1; i < len(res.Levels); i++ {
+		if res.Levels[i].Communities > res.Levels[i-1].Communities {
+			t.Errorf("communities grew between levels: %d -> %d",
+				res.Levels[i-1].Communities, res.Levels[i].Communities)
+		}
+	}
+}
+
+func TestSequentialReportedQMatchesMembership(t *testing.T) {
+	el, _, err := gen.SBM(gen.SBMConfig{N: 300, Communities: 6, PIn: 0.2, POut: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 300)
+	res := Sequential(g, Options{})
+	got := metrics.Modularity(g, res.Membership)
+	if math.Abs(got-res.Q) > 1e-9 {
+		t.Errorf("membership Q %v != reported Q %v", got, res.Q)
+	}
+}
+
+func TestSequentialRecoversSBM(t *testing.T) {
+	el, truth, err := gen.SBM(gen.SBMConfig{N: 400, Communities: 8, PIn: 0.3, POut: 0.005, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 400)
+	res := Sequential(g, Options{})
+	sim, err := metrics.Compare(res.Membership, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.95 {
+		t.Errorf("NMI = %v, want > 0.95", sim.NMI)
+	}
+}
+
+func TestSequentialEmptyAndTrivialGraphs(t *testing.T) {
+	res := Sequential(graph.Build(nil, 0), Options{})
+	if res.Q != 0 || len(res.Levels) != 0 {
+		t.Errorf("empty graph: Q=%v levels=%d", res.Q, len(res.Levels))
+	}
+	// Isolated vertices only.
+	res = Sequential(graph.Build(nil, 5), Options{})
+	if res.Q != 0 {
+		t.Errorf("edgeless graph Q = %v", res.Q)
+	}
+	if len(res.Membership) != 5 {
+		t.Errorf("membership len %d", len(res.Membership))
+	}
+	// Single edge.
+	res = Sequential(graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}}, 0), Options{})
+	if res.Membership[0] != res.Membership[1] {
+		t.Error("single edge endpoints should merge")
+	}
+}
+
+func TestSequentialSelfLoopGraph(t *testing.T) {
+	// Self-loops only: every vertex its own community, Q = sum of
+	// (w_i/m - (w_i/m)^2)... with one loop: Q=0.
+	g := graph.Build(graph.EdgeList{{U: 0, V: 0, W: 3}, {U: 1, V: 1, W: 2}}, 0)
+	res := Sequential(g, Options{})
+	want := metrics.Modularity(g, res.Membership)
+	if math.Abs(res.Q-want) > 1e-9 {
+		t.Errorf("Q=%v, recomputed %v", res.Q, want)
+	}
+}
+
+func TestSequentialSeedChangesOrderNotValidity(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(500, 0.3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 500)
+	a := Sequential(g, Options{Seed: 1})
+	b := Sequential(g, Options{Seed: 99})
+	// Different sweeps may find different partitions but similar quality.
+	if math.Abs(a.Q-b.Q) > 0.1 {
+		t.Errorf("seed instability: Q %v vs %v", a.Q, b.Q)
+	}
+}
+
+func TestSequentialTraceMoves(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(500, 0.3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 500)
+	type rec struct{ level, iter, moved, active int }
+	var trace []rec
+	Sequential(g, Options{TraceMoves: func(level, iter, moved, active int) {
+		trace = append(trace, rec{level, iter, moved, active})
+	}})
+	if len(trace) == 0 {
+		t.Fatal("no trace records")
+	}
+	if trace[0].level != 0 || trace[0].iter != 1 {
+		t.Errorf("first record %+v", trace[0])
+	}
+	// The last iteration of each level moves nothing (convergence).
+	last := trace[len(trace)-1]
+	if last.moved != 0 {
+		t.Errorf("final sweep moved %d, want 0", last.moved)
+	}
+	// First-iteration movement dominates (the paper's observation that
+	// most vertices merge in iteration one).
+	if trace[0].moved < trace[0].active/2 {
+		t.Errorf("first sweep moved only %d of %d", trace[0].moved, trace[0].active)
+	}
+}
+
+func TestSequentialMaxLevelsHonored(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(800, 0.3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 800)
+	res := Sequential(g, Options{MaxLevels: 1})
+	if len(res.Levels) != 1 {
+		t.Errorf("levels = %d, want 1", len(res.Levels))
+	}
+}
+
+func TestSequentialPartitionIsValid(t *testing.T) {
+	// Equations 1 and 2: every vertex in exactly one community.
+	el, _, err := gen.LFR(gen.DefaultLFR(600, 0.4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 600)
+	res := Sequential(g, Options{})
+	if len(res.Membership) != g.N {
+		t.Fatalf("membership covers %d of %d vertices", len(res.Membership), g.N)
+	}
+	// Labels compact: 0..C-1.
+	maxC := graph.V(0)
+	for _, c := range res.Membership {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if int(maxC)+1 < res.Levels[len(res.Levels)-1].Communities {
+		t.Errorf("labels not covering community count: max %d, count %d",
+			maxC, res.Levels[len(res.Levels)-1].Communities)
+	}
+}

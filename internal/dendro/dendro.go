@@ -1,0 +1,105 @@
+// Package dendro provides a dendrogram view over a detection result: the
+// Louvain hierarchy as successive coarsenings of the vertex set, with cut,
+// path and validation operations. The paper singles out hierarchy recovery
+// as a feature most competing parallel systems lack (Section VI).
+package dendro
+
+import (
+	"fmt"
+
+	"parlouvain/internal/core"
+	"parlouvain/internal/graph"
+)
+
+// Dendrogram is a sequence of per-level community assignments of the
+// original vertices, finest (level 0) to coarsest.
+type Dendrogram struct {
+	levels [][]graph.V
+	n      int
+}
+
+// FromResult builds a dendrogram from a detection run. The run must have
+// been made with Options.CollectLevels (so each Level carries the composed
+// membership).
+func FromResult(res *core.Result) (*Dendrogram, error) {
+	if len(res.Levels) == 0 {
+		return &Dendrogram{n: res.NumVertices}, nil
+	}
+	d := &Dendrogram{n: res.NumVertices}
+	for i, lv := range res.Levels {
+		if lv.Membership == nil {
+			return nil, fmt.Errorf("dendro: level %d has no membership; run with CollectLevels", i)
+		}
+		if len(lv.Membership) != res.NumVertices {
+			return nil, fmt.Errorf("dendro: level %d membership covers %d of %d vertices", i, len(lv.Membership), res.NumVertices)
+		}
+		d.levels = append(d.levels, lv.Membership)
+	}
+	return d, nil
+}
+
+// NumLevels returns the number of hierarchy levels.
+func (d *Dendrogram) NumLevels() int { return len(d.levels) }
+
+// NumVertices returns the original vertex count.
+func (d *Dendrogram) NumVertices() int { return d.n }
+
+// CutAt returns the community assignment at the given level (0 = finest).
+// Negative levels count from the coarsest (-1 = final communities).
+func (d *Dendrogram) CutAt(level int) ([]graph.V, error) {
+	if level < 0 {
+		level += len(d.levels)
+	}
+	if level < 0 || level >= len(d.levels) {
+		return nil, fmt.Errorf("dendro: level %d out of range [0,%d)", level, len(d.levels))
+	}
+	return d.levels[level], nil
+}
+
+// CommunitiesAt returns the number of distinct communities at a level.
+func (d *Dendrogram) CommunitiesAt(level int) (int, error) {
+	cut, err := d.CutAt(level)
+	if err != nil {
+		return 0, err
+	}
+	distinct := map[graph.V]bool{}
+	for _, c := range cut {
+		distinct[c] = true
+	}
+	return len(distinct), nil
+}
+
+// PathOf returns vertex v's community at every level, finest to coarsest.
+func (d *Dendrogram) PathOf(v graph.V) ([]graph.V, error) {
+	if int(v) >= d.n {
+		return nil, fmt.Errorf("dendro: vertex %d outside [0,%d)", v, d.n)
+	}
+	path := make([]graph.V, len(d.levels))
+	for i, lv := range d.levels {
+		path[i] = lv[v]
+	}
+	return path, nil
+}
+
+// Validate checks the defining dendrogram property: each level is a
+// coarsening of the previous one (vertices that share a community at level
+// i still share one at level i+1).
+func (d *Dendrogram) Validate() error {
+	for i := 1; i < len(d.levels); i++ {
+		// For a coarsening, the level-i community of a vertex must be a
+		// function of its level-(i-1) community.
+		image := map[graph.V]graph.V{}
+		for v := 0; v < d.n; v++ {
+			fine := d.levels[i-1][v]
+			coarse := d.levels[i][v]
+			if prev, ok := image[fine]; ok {
+				if prev != coarse {
+					return fmt.Errorf("dendro: level %d splits community %d of level %d", i, fine, i-1)
+				}
+			} else {
+				image[fine] = coarse
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package ensemble
+
+import (
+	"strings"
+	"testing"
+
+	"parlouvain/internal/core"
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/metrics"
+)
+
+func TestEnsembleRecoversStructure(t *testing.T) {
+	el, truth, err := gen.LFR(gen.DefaultLFR(2000, 0.35, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 2000)
+	res, err := Detect(g, Options{Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := metrics.Compare(res.Membership, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.85 {
+		t.Errorf("NMI = %v, want > 0.85", sim.NMI)
+	}
+	// The contraction must be coarser than vertices but finer than the
+	// final communities.
+	comms := len(metrics.CommunitySizes(res.Membership))
+	if res.CoreGroups <= comms || res.CoreGroups >= g.N {
+		t.Errorf("core groups %d outside (communities %d, vertices %d)", res.CoreGroups, comms, g.N)
+	}
+}
+
+func TestEnsembleQualityComparableToSingleRun(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(1500, 0.45, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 1500)
+	single := core.Sequential(g, core.Options{})
+	ens, err := Detect(g, Options{Runs: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Q < single.Q-0.05 {
+		t.Errorf("ensemble Q %v far below single-run %v", ens.Q, single.Q)
+	}
+	t.Logf("ensemble Q=%.4f single Q=%.4f coreGroups=%d", ens.Q, single.Q, ens.CoreGroups)
+}
+
+func TestEnsembleEmptyGraph(t *testing.T) {
+	res, err := Detect(graph.Build(nil, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Membership) != 0 {
+		t.Errorf("membership %v", res.Membership)
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	el, _, err := gen.SBM(gen.SBMConfig{N: 300, Communities: 5, PIn: 0.3, POut: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 300)
+	a, err := Detect(g, Options{Runs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Detect(g, Options{Runs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Q != b.Q || a.CoreGroups != b.CoreGroups {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEnsembleString(t *testing.T) {
+	el, _, err := gen.RingOfCliques(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(graph.Build(el, 0), Options{Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); !strings.Contains(s, "ensemble{") {
+		t.Errorf("String = %q", s)
+	}
+}

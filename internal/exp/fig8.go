@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"parlouvain/internal/core"
+	"parlouvain/internal/perf"
+)
+
+// Fig8 reproduces the execution-time breakdown of Figure 8 on the UK-2007
+// stand-in (the paper's largest real-world graph): (a) REFINE vs GRAPH
+// RECONSTRUCTION per outer loop and (b) FIND BEST COMMUNITY / UPDATE
+// COMMUNITY INFORMATION / STATE PROPAGATION per inner iteration of the
+// first outer loop. Paper claims: the first outer loop is >90% of total
+// time, reconstruction is negligible, FIND BEST and UPDATE shrink with the
+// inner iteration while STATE PROPAGATION stays flat.
+func Fig8(sizeFactor float64, ranks int) ([]Table, error) {
+	if ranks <= 0 {
+		ranks = 8
+	}
+	s, err := StandinByName("UK-2007")
+	if err != nil {
+		return nil, err
+	}
+	el, _, err := s.Generate(sizeFactor)
+	if err != nil {
+		return nil, err
+	}
+	n := el.NumVertices()
+
+	type iterTiming struct {
+		find, update, prop time.Duration
+	}
+	var level0 []iterTiming
+	var levelWall []time.Duration
+	levelStartIdx := map[int]int{}
+	res, err := core.RunInProcess(el, n, ranks, core.Options{
+		TraceTimings: func(level, iter int, find, update, prop time.Duration) {
+			if level == 0 {
+				level0 = append(level0, iterTiming{find, update, prop})
+			}
+			if _, ok := levelStartIdx[level]; !ok {
+				levelStartIdx[level] = len(levelWall)
+				levelWall = append(levelWall, 0)
+			}
+			levelWall[levelStartIdx[level]] += find + update + prop
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	a := Table{
+		Title:  fmt.Sprintf("Figure 8a: outer-loop breakdown, UK-2007 stand-in (P=%d)", ranks),
+		Header: []string{"phase", "time", "share"},
+	}
+	refine := res.Breakdown.Get(perf.PhaseRefine)
+	recon := res.Breakdown.Get(perf.PhaseReconstruction)
+	tot := refine + recon
+	a.AddRow(perf.PhaseRefine, refine.Round(time.Microsecond).String(), pct(refine, tot))
+	a.AddRow(perf.PhaseReconstruction, recon.Round(time.Microsecond).String(), pct(recon, tot))
+	if len(levelWall) > 0 {
+		var all time.Duration
+		for _, d := range levelWall {
+			all += d
+		}
+		a.Notes = append(a.Notes, fmt.Sprintf("first outer loop: %s of %s inner-phase time (%s)",
+			levelWall[0].Round(time.Microsecond), all.Round(time.Microsecond), pct(levelWall[0], all)))
+	}
+
+	b := Table{
+		Title:  "Figure 8b: inner-loop breakdown of the first outer loop",
+		Header: []string{"inner iter", perf.PhaseFindBest, perf.PhaseUpdate, perf.PhasePropagation},
+	}
+	for i, t := range level0 {
+		b.AddRow(d(i+1),
+			t.find.Round(time.Microsecond).String(),
+			t.update.Round(time.Microsecond).String(),
+			t.prop.Round(time.Microsecond).String())
+	}
+	b.Notes = append(b.Notes,
+		"paper: FIND BEST and UPDATE decrease as vertices settle; STATE PROPAGATION is roughly constant")
+	return []Table{a, b}, nil
+}
+
+func pct(x, total time.Duration) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(x)/float64(total))
+}

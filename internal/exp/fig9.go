@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/core"
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/metrics"
+	"parlouvain/internal/perf"
+)
+
+// Fig9 reproduces the scalability study of Figure 9 using TEPS (input
+// edges / time to finish the first level, as the paper defines it):
+//
+//	(a) weak scaling on R-MAT (fixed vertices/edges per rank) and on BTER
+//	    with two clustering strengths (the paper's GCC 0.15 vs 0.55);
+//	(b) strong scaling on the largest stand-in graph;
+//	(c) strong scaling on a fixed R-MAT graph.
+//
+// Paper claims: TEPS grows proportionally with ranks in weak scaling;
+// higher-GCC BTER yields higher modularity and slightly higher TEPS;
+// strong scaling is less efficient than weak scaling.
+func Fig9(sizeFactor float64, rankSteps []int) ([]Table, error) {
+	if len(rankSteps) == 0 {
+		rankSteps = []int{1, 2, 4, 8}
+	}
+	// All times below are simulated parallel makespans under the BSP
+	// cost model (single-core host; see DESIGN.md §2).
+	model := comm.DefaultCostModel()
+	perRankScale := 13
+	if sizeFactor < 0.5 {
+		perRankScale = 11
+	}
+
+	weak := Table{
+		Title:  fmt.Sprintf("Figure 9a: weak scaling, R-MAT 2^%d vertices per rank (TEPS = edges / first-level time)", perRankScale),
+		Header: []string{"ranks", "|V|", "|E|", "first level", "MTEPS", "Q"},
+	}
+	for _, p := range rankSteps {
+		scale := perRankScale + log2int(p)
+		el, err := gen.RMAT(gen.DefaultRMAT(scale, 500+uint64(p)))
+		if err != nil {
+			return nil, err
+		}
+		n := 1 << scale
+		res, err := core.RunSimulated(el, n, p, core.Options{}, model)
+		if err != nil {
+			return nil, err
+		}
+		weak.AddRow(d(p), d(n), fmt.Sprintf("%d", res.NumEdges),
+			res.SimFirstLevel.Round(time.Millisecond).String(),
+			f2(perf.TEPS(res.NumEdges, res.SimFirstLevel)/1e6), f3(res.Q))
+	}
+
+	bter := Table{
+		Title:  "Figure 9a (BTER): weak scaling with two community strengths",
+		Header: []string{"rho (GCC knob)", "ranks", "|E|", "measured GCC", "first level", "MTEPS", "Q"},
+	}
+	for _, rho := range []float64{0.15, 0.55} {
+		for _, p := range []int{rankSteps[0], rankSteps[len(rankSteps)-1]} {
+			n := int(4000*sizeFactor)*p + 400
+			el, _, err := gen.BTER(gen.DefaultBTER(n, rho, 600+uint64(p)))
+			if err != nil {
+				return nil, err
+			}
+			g := graph.Build(el, n)
+			gcc := metrics.GCC(g, 50000, 1)
+			res, err := core.RunSimulated(el, n, p, core.Options{}, model)
+			if err != nil {
+				return nil, err
+			}
+			bter.AddRow(f2(rho), d(p), fmt.Sprintf("%d", res.NumEdges), f3(gcc),
+				res.SimFirstLevel.Round(time.Millisecond).String(),
+				f2(perf.TEPS(res.NumEdges, res.SimFirstLevel)/1e6), f3(res.Q))
+		}
+	}
+	bter.Notes = append(bter.Notes, "paper: GCC 0.55 gives Q=0.926 vs 0.693 for GCC 0.15, with slightly faster processing")
+
+	strongReal := Table{
+		Title:  "Figure 9b: strong scaling, UK-2007 stand-in",
+		Header: []string{"ranks", "total time", "first level", "MTEPS", "speedup"},
+	}
+	s, err := StandinByName("UK-2007")
+	if err != nil {
+		return nil, err
+	}
+	el, _, err := s.Generate(sizeFactor)
+	if err != nil {
+		return nil, err
+	}
+	n := el.NumVertices()
+	var base time.Duration
+	for _, p := range rankSteps {
+		res, err := core.RunSimulated(el, n, p, core.Options{}, model)
+		if err != nil {
+			return nil, err
+		}
+		if p == rankSteps[0] {
+			base = res.SimDuration
+		}
+		strongReal.AddRow(d(p), res.SimDuration.Round(time.Millisecond).String(),
+			res.SimFirstLevel.Round(time.Millisecond).String(),
+			f2(perf.TEPS(res.NumEdges, res.SimFirstLevel)/1e6),
+			f2(perf.Speedup(base, res.SimDuration)))
+	}
+
+	strongSynth := Table{
+		Title:  fmt.Sprintf("Figure 9c: strong scaling, fixed R-MAT scale %d", perRankScale+2),
+		Header: []string{"ranks", "total time", "first level", "MTEPS", "speedup"},
+	}
+	rel, err := gen.RMAT(gen.DefaultRMAT(perRankScale+2, 900))
+	if err != nil {
+		return nil, err
+	}
+	rn := 1 << (perRankScale + 2)
+	base = 0
+	for _, p := range rankSteps {
+		res, err := core.RunSimulated(rel, rn, p, core.Options{}, model)
+		if err != nil {
+			return nil, err
+		}
+		if p == rankSteps[0] {
+			base = res.SimDuration
+		}
+		strongSynth.AddRow(d(p), res.SimDuration.Round(time.Millisecond).String(),
+			res.SimFirstLevel.Round(time.Millisecond).String(),
+			f2(perf.TEPS(res.NumEdges, res.SimFirstLevel)/1e6),
+			f2(perf.Speedup(base, res.SimDuration)))
+	}
+	strongSynth.Notes = append(strongSynth.Notes,
+		"paper: strong scaling is lower than weak scaling because the fixed problem limits parallelism")
+	return []Table{weak, bter, strongReal, strongSynth}, nil
+}
+
+func log2int(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

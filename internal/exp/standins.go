@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+)
+
+// Standin is a synthetic stand-in for one of the paper's real-world graphs
+// (Table I). Sizes are the paper's divided by ~32 and then multiplied by
+// the experiment's size factor; community structure is matched by the LFR
+// mixing parameter (web crawls cluster strongly, follower graphs weakly).
+// See DESIGN.md §2 for why this substitution preserves the evaluated
+// behaviour.
+type Standin struct {
+	Name     string
+	Category string
+	// Paper-reported size, for the Table I comparison columns.
+	PaperVertices string
+	PaperEdges    string
+	// Stand-in parameters at size factor 1.
+	N         int
+	Mu        float64
+	AvgDegree float64
+	Seed      uint64
+}
+
+// Standins lists the paper's Table I real-world graphs in order.
+func Standins() []Standin {
+	return []Standin{
+		{Name: "Amazon", Category: "Small", PaperVertices: "0.335M", PaperEdges: "0.925M", N: 10000, Mu: 0.25, AvgDegree: 6, Seed: 101},
+		{Name: "DBLP", Category: "Small", PaperVertices: "0.317M", PaperEdges: "1.049M", N: 10000, Mu: 0.30, AvgDegree: 7, Seed: 102},
+		{Name: "ND-Web", Category: "Small", PaperVertices: "0.325M", PaperEdges: "1.497M", N: 10000, Mu: 0.15, AvgDegree: 9, Seed: 103},
+		{Name: "YouTube", Category: "Small", PaperVertices: "1.135M", PaperEdges: "2.987M", N: 12000, Mu: 0.45, AvgDegree: 5, Seed: 104},
+		{Name: "LiveJournal", Category: "Medium", PaperVertices: "3.997M", PaperEdges: "34.68M", N: 20000, Mu: 0.40, AvgDegree: 17, Seed: 105},
+		{Name: "Wikipedia", Category: "Medium", PaperVertices: "4.206M", PaperEdges: "77.66M", N: 20000, Mu: 0.50, AvgDegree: 14, Seed: 106},
+		{Name: "UK-2005", Category: "Large", PaperVertices: "39.46M", PaperEdges: "936.4M", N: 30000, Mu: 0.20, AvgDegree: 16, Seed: 107},
+		{Name: "Twitter", Category: "Large", PaperVertices: "41.7M", PaperEdges: "1470M", N: 30000, Mu: 0.55, AvgDegree: 18, Seed: 108},
+		{Name: "UK-2007", Category: "Very Large", PaperVertices: "105.9M", PaperEdges: "3783.7M", N: 50000, Mu: 0.20, AvgDegree: 18, Seed: 109},
+	}
+}
+
+// StandinByName returns the named stand-in.
+func StandinByName(name string) (Standin, error) {
+	for _, s := range Standins() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Standin{}, fmt.Errorf("exp: unknown stand-in %q", name)
+}
+
+// Generate materializes the stand-in at the given size factor (1 = default
+// laptop scale). Returns the edge list and the planted assignment.
+func (s Standin) Generate(sizeFactor float64) (graph.EdgeList, []graph.V, error) {
+	n := int(float64(s.N) * sizeFactor)
+	if n < 200 {
+		n = 200
+	}
+	cfg := gen.LFRConfig{
+		N:         n,
+		AvgDegree: s.AvgDegree,
+		MaxDegree: n / 20,
+		Gamma:     2.5,
+		Beta:      1.5,
+		Mu:        s.Mu,
+		Seed:      s.Seed,
+	}
+	return gen.LFR(cfg)
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"fmt"
+
+	"parlouvain/internal/graph"
+)
+
+// SBMConfig parameterizes a planted-partition stochastic block model:
+// Communities equal-sized blocks, PIn edge probability within a block,
+// POut between blocks. Used for controlled convergence tests.
+type SBMConfig struct {
+	N           int
+	Communities int
+	PIn, POut   float64
+	Seed        uint64
+}
+
+// SBM generates a planted-partition graph and its ground-truth assignment
+// (truth[v] = community index of v).
+func SBM(cfg SBMConfig) (graph.EdgeList, []graph.V, error) {
+	if cfg.N <= 0 || cfg.Communities <= 0 || cfg.Communities > cfg.N {
+		return nil, nil, fmt.Errorf("gen: SBM with n=%d k=%d", cfg.N, cfg.Communities)
+	}
+	if cfg.PIn < 0 || cfg.PIn > 1 || cfg.POut < 0 || cfg.POut > 1 {
+		return nil, nil, fmt.Errorf("gen: SBM probabilities out of range")
+	}
+	truth := make([]graph.V, cfg.N)
+	for v := range truth {
+		truth[v] = graph.V(v * cfg.Communities / cfg.N)
+	}
+	rng := NewRNG(cfg.Seed)
+	var el graph.EdgeList
+	for u := 0; u < cfg.N; u++ {
+		for v := u + 1; v < cfg.N; v++ {
+			p := cfg.POut
+			if truth[u] == truth[v] {
+				p = cfg.PIn
+			}
+			if rng.Float64() < p {
+				el = append(el, graph.Edge{U: graph.V(u), V: graph.V(v), W: 1})
+			}
+		}
+	}
+	return el, truth, nil
+}
+
+// RingOfCliques builds k cliques of size s connected in a ring by single
+// edges: the classic hierarchical-community example whose optimal top-level
+// partition is one community per clique. Used by examples/hierarchy and
+// dendrogram tests.
+func RingOfCliques(k, s int) (graph.EdgeList, []graph.V, error) {
+	if k < 3 || s < 2 {
+		return nil, nil, fmt.Errorf("gen: RingOfCliques needs k>=3, s>=2 (got %d,%d)", k, s)
+	}
+	var el graph.EdgeList
+	truth := make([]graph.V, k*s)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			truth[base+i] = graph.V(c)
+			for j := i + 1; j < s; j++ {
+				el = append(el, graph.Edge{U: graph.V(base + i), V: graph.V(base + j), W: 1})
+			}
+		}
+		// Bridge to the next clique.
+		next := ((c + 1) % k) * s
+		el = append(el, graph.Edge{U: graph.V(base), V: graph.V(next), W: 1})
+	}
+	return el, truth, nil
+}

@@ -1,0 +1,156 @@
+// Package gencli parses the generator specs shared by cmd/louvain and
+// cmd/gengraph: a family name and comma-separated key=value parameters,
+// e.g. "lfr:n=10000,mu=0.3,seed=7" or "rmat:scale=16".
+package gencli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+)
+
+// Usage documents the accepted spec grammar.
+const Usage = `generator specs:
+  lfr:n=<int>,mu=<float>[,k=<float>][,gamma=<float>][,beta=<float>][,seed=<int>]
+  rmat:scale=<int>[,edgefactor=<int>][,seed=<int>]
+  bter:n=<int>[,rho=<float>][,k=<float>][,seed=<int>]
+  sbm:n=<int>,comms=<int>[,pin=<float>][,pout=<float>][,seed=<int>]
+  er:n=<int>,p=<float>[,seed=<int>]
+  ring:k=<int>,s=<int>`
+
+type params map[string]string
+
+func (p params) float(key string, def float64) (float64, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func (p params) integer(key string, def int) (int, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func (p params) seed() (uint64, error) {
+	v, ok := p["seed"]
+	if !ok {
+		return 42, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+// Generate materializes a generator spec, returning the edge list and the
+// ground-truth assignment when the model has one (nil otherwise).
+func Generate(spec string) (graph.EdgeList, []graph.V, error) {
+	family, rest, _ := strings.Cut(spec, ":")
+	p := params{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("gencli: bad parameter %q in %q", kv, spec)
+			}
+			p[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	seed, err := p.seed()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch family {
+	case "lfr":
+		n, err := p.integer("n", 10000)
+		if err != nil {
+			return nil, nil, err
+		}
+		mu, err := p.float("mu", 0.3)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := gen.DefaultLFR(n, mu, seed)
+		if cfg.AvgDegree, err = p.float("k", cfg.AvgDegree); err != nil {
+			return nil, nil, err
+		}
+		if cfg.Gamma, err = p.float("gamma", cfg.Gamma); err != nil {
+			return nil, nil, err
+		}
+		if cfg.Beta, err = p.float("beta", cfg.Beta); err != nil {
+			return nil, nil, err
+		}
+		return gen.LFR(cfg)
+	case "rmat":
+		scale, err := p.integer("scale", 16)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := gen.DefaultRMAT(scale, seed)
+		if cfg.EdgeFactor, err = p.integer("edgefactor", cfg.EdgeFactor); err != nil {
+			return nil, nil, err
+		}
+		el, err := gen.RMAT(cfg)
+		return el, nil, err
+	case "bter":
+		n, err := p.integer("n", 10000)
+		if err != nil {
+			return nil, nil, err
+		}
+		rho, err := p.float("rho", 0.4)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := gen.DefaultBTER(n, rho, seed)
+		if cfg.AvgDegree, err = p.float("k", cfg.AvgDegree); err != nil {
+			return nil, nil, err
+		}
+		return gen.BTER(cfg)
+	case "sbm":
+		n, err := p.integer("n", 1000)
+		if err != nil {
+			return nil, nil, err
+		}
+		comms, err := p.integer("comms", 10)
+		if err != nil {
+			return nil, nil, err
+		}
+		pin, err := p.float("pin", 0.1)
+		if err != nil {
+			return nil, nil, err
+		}
+		pout, err := p.float("pout", 0.01)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gen.SBM(gen.SBMConfig{N: n, Communities: comms, PIn: pin, POut: pout, Seed: seed})
+	case "er":
+		n, err := p.integer("n", 1000)
+		if err != nil {
+			return nil, nil, err
+		}
+		prob, err := p.float("p", 0.01)
+		if err != nil {
+			return nil, nil, err
+		}
+		el, err := gen.ER(n, prob, seed)
+		return el, nil, err
+	case "ring":
+		k, err := p.integer("k", 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := p.integer("s", 5)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gen.RingOfCliques(k, s)
+	default:
+		return nil, nil, fmt.Errorf("gencli: unknown generator %q\n%s", family, Usage)
+	}
+}

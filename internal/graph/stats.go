@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ConnectedComponents labels each vertex with its connected component
+// (labels are the smallest vertex id in the component) and returns the
+// labels plus the number of components. Isolated vertices form their own
+// components.
+func (g *Graph) ConnectedComponents() ([]V, int) {
+	labels := make([]V, g.N)
+	const unseen = ^V(0)
+	for i := range labels {
+		labels[i] = unseen
+	}
+	var stack []V
+	count := 0
+	for s := 0; s < g.N; s++ {
+		if labels[s] != unseen {
+			continue
+		}
+		count++
+		root := V(s)
+		labels[s] = root
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for i := g.Off[u]; i < g.Off[u+1]; i++ {
+				v := g.Nbr[i]
+				if labels[v] == unseen {
+					labels[v] = root
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// DegreeHistogram buckets unweighted degrees into power-of-two bins
+// [0], [1], [2,3], [4,7], ... and returns the counts.
+func (g *Graph) DegreeHistogram() []int {
+	maxBin := 1
+	for u := 0; u < g.N; u++ {
+		d := g.Degree(V(u))
+		b := binOf(d)
+		if b+1 > maxBin {
+			maxBin = b + 1
+		}
+	}
+	h := make([]int, maxBin)
+	for u := 0; u < g.N; u++ {
+		h[binOf(g.Degree(V(u)))]++
+	}
+	return h
+}
+
+func binOf(d int) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 1
+	for v := d; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Summary holds descriptive statistics for reporting.
+type Summary struct {
+	Vertices   int
+	Edges      int
+	SelfLoops  int
+	TotalW     float64
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	Isolated   int
+	Components int
+	LargestCC  int
+}
+
+// Summarize computes a Summary in O(V+E).
+func (g *Graph) Summarize() Summary {
+	s := Summary{Vertices: g.N, Edges: g.NumEdges(), TotalW: g.M, MinDegree: math.MaxInt}
+	for _, w := range g.SelfW {
+		if w != 0 {
+			s.SelfLoops++
+		}
+	}
+	var degSum int
+	for u := 0; u < g.N; u++ {
+		d := g.Degree(V(u))
+		degSum += d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 && g.SelfW[u] == 0 {
+			s.Isolated++
+		}
+	}
+	if g.N > 0 {
+		s.AvgDegree = float64(degSum) / float64(g.N)
+	} else {
+		s.MinDegree = 0
+	}
+	labels, count := g.ConnectedComponents()
+	s.Components = count
+	sizes := map[V]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestCC {
+			s.LargestCC = sz
+		}
+	}
+	return s
+}
+
+// String renders the summary for CLI output.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices:        %d\n", s.Vertices)
+	fmt.Fprintf(&b, "edges:           %d (self-loops %d, total weight %g)\n", s.Edges, s.SelfLoops, s.TotalW)
+	fmt.Fprintf(&b, "degree:          min %d / avg %.2f / max %d (isolated %d)\n", s.MinDegree, s.AvgDegree, s.MaxDegree, s.Isolated)
+	fmt.Fprintf(&b, "components:      %d (largest %d)", s.Components, s.LargestCC)
+	return b.String()
+}

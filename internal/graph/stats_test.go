@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponentsBasic(t *testing.T) {
+	// Two components + one isolated vertex.
+	g := Build(EdgeList{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 3, V: 4, W: 1}}, 6)
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("first component split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Errorf("second component wrong: %v", labels)
+	}
+	if labels[5] != 5 {
+		t.Errorf("isolated vertex label = %d", labels[5])
+	}
+}
+
+func TestConnectedComponentsProperties(t *testing.T) {
+	f := func(raw []struct{ U, V uint8 }) bool {
+		el := make(EdgeList, 0, len(raw))
+		for _, r := range raw {
+			el = append(el, Edge{V(r.U % 64), V(r.V % 64), 1})
+		}
+		g := Build(el, 64)
+		labels, count := g.ConnectedComponents()
+		// Every edge joins same-labeled endpoints.
+		for _, e := range el {
+			if labels[e.U] != labels[e.V] {
+				return false
+			}
+		}
+		// Count matches distinct labels.
+		distinct := map[V]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		return len(distinct) == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star with 4 leaves: center degree 4, leaves degree 1.
+	g := Build(EdgeList{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1}, {U: 0, V: 4, W: 1}}, 6)
+	h := g.DegreeHistogram()
+	if h[0] != 1 { // vertex 5, degree 0
+		t.Errorf("bin[0] = %d, want 1", h[0])
+	}
+	if h[1] != 4 { // leaves, degree 1
+		t.Errorf("bin[1] = %d, want 4", h[1])
+	}
+	if h[binOf(4)] != 1 {
+		t.Errorf("center not in bin %d: %v", binOf(4), h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("histogram total %d, want 6", total)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := Build(EdgeList{{U: 0, V: 1, W: 2}, {U: 2, V: 2, W: 1}}, 4)
+	s := g.Summarize()
+	if s.Vertices != 4 || s.Edges != 2 || s.SelfLoops != 1 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.Isolated != 1 { // vertex 3; vertex 2 has a self-loop
+		t.Errorf("isolated = %d, want 1", s.Isolated)
+	}
+	if s.Components != 3 { // {0,1}, {2}, {3}
+		t.Errorf("components = %d, want 3", s.Components)
+	}
+	if s.LargestCC != 2 {
+		t.Errorf("largest = %d", s.LargestCC)
+	}
+	out := s.String()
+	for _, want := range []string{"vertices:", "components:", "degree:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Build(nil, 0).Summarize()
+	if s.Vertices != 0 || s.MinDegree != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+}

@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph extracts the subgraph induced by the given vertex set,
+// relabeling vertices densely in the order given. Returns the edge list of
+// the subgraph and the mapping from new ids back to original ids.
+func (g *Graph) InducedSubgraph(vertices []V) (EdgeList, []V, error) {
+	newID := make(map[V]V, len(vertices))
+	back := make([]V, 0, len(vertices))
+	for _, v := range vertices {
+		if int(v) >= g.N {
+			return nil, nil, fmt.Errorf("graph: vertex %d outside [0,%d)", v, g.N)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in selection", v)
+		}
+		newID[v] = V(len(back))
+		back = append(back, v)
+	}
+	var el EdgeList
+	for _, v := range vertices {
+		nv := newID[v]
+		if w := g.SelfW[v]; w != 0 {
+			el = append(el, Edge{nv, nv, w})
+		}
+		for i := g.Off[v]; i < g.Off[v+1]; i++ {
+			u := g.Nbr[i]
+			if u < v {
+				continue // count each undirected edge once
+			}
+			if nu, ok := newID[u]; ok {
+				el = append(el, Edge{nv, nu, g.NbrW[i]})
+			}
+		}
+	}
+	return el, back, nil
+}
+
+// LargestComponent returns the edge list of the largest connected
+// component, relabeled densely, with the back-mapping to original ids.
+func (g *Graph) LargestComponent() (EdgeList, []V, error) {
+	labels, _ := g.ConnectedComponents()
+	sizes := map[V]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var best V
+	bestSize := -1
+	for l, s := range sizes {
+		if s > bestSize || (s == bestSize && l < best) {
+			best, bestSize = l, s
+		}
+	}
+	var members []V
+	for v := 0; v < g.N; v++ {
+		if labels[v] == best {
+			members = append(members, V(v))
+		}
+	}
+	return g.InducedSubgraph(members)
+}
+
+// RelabelDense renumbers an edge list so that vertex ids are consecutive
+// from 0, preserving first-appearance order. Returns the new edge list and
+// the back-mapping.
+func RelabelDense(el EdgeList) (EdgeList, []V) {
+	newID := map[V]V{}
+	var back []V
+	id := func(v V) V {
+		if n, ok := newID[v]; ok {
+			return n
+		}
+		n := V(len(back))
+		newID[v] = n
+		back = append(back, v)
+		return n
+	}
+	out := make(EdgeList, len(el))
+	for i, e := range el {
+		out[i] = Edge{id(e.U), id(e.V), e.W}
+	}
+	return out, back
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	// Path 0-1-2-3 plus self-loop at 1.
+	g := Build(EdgeList{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 1, V: 1, W: 5}}, 0)
+	el, back, err := g.InducedSubgraph([]V{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != 1 || back[1] != 2 {
+		t.Errorf("back = %v", back)
+	}
+	sub := Build(el, 2)
+	if sub.M != 7 { // edge 1-2 (w=2) + self-loop (w=5)
+		t.Errorf("M = %v, want 7", sub.M)
+	}
+	if sub.SelfW[0] != 5 {
+		t.Errorf("self weight lost: %v", sub.SelfW)
+	}
+}
+
+func TestInducedSubgraphValidation(t *testing.T) {
+	g := Build(EdgeList{{U: 0, V: 1, W: 1}}, 0)
+	if _, _, err := g.InducedSubgraph([]V{5}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]V{0, 0}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Component A: triangle 0-1-2; component B: edge 3-4; isolated 5.
+	g := Build(EdgeList{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+		{U: 3, V: 4, W: 1},
+	}, 6)
+	el, back, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("largest component has %d vertices, want 3", len(back))
+	}
+	sub := Build(el, 3)
+	if sub.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", sub.NumEdges())
+	}
+}
+
+func TestRelabelDense(t *testing.T) {
+	el := EdgeList{{U: 100, V: 200, W: 1}, {U: 200, V: 300, W: 2}}
+	out, back := RelabelDense(el)
+	if out[0].U != 0 || out[0].V != 1 || out[1].U != 1 || out[1].V != 2 {
+		t.Errorf("relabel wrong: %v", out)
+	}
+	if back[0] != 100 || back[1] != 200 || back[2] != 300 {
+		t.Errorf("back = %v", back)
+	}
+}
+
+func TestRelabelDensePreservesStructure(t *testing.T) {
+	f := func(raw []struct{ U, V uint16 }) bool {
+		el := make(EdgeList, 0, len(raw))
+		for _, r := range raw {
+			el = append(el, Edge{V(r.U), V(r.V), 1})
+		}
+		out, back := RelabelDense(el)
+		if len(out) != len(el) {
+			return false
+		}
+		for i := range el {
+			if back[out[i].U] != el[i].U || back[out[i].V] != el[i].V {
+				return false
+			}
+		}
+		// Total weight preserved.
+		return out.TotalWeight() == el.TotalWeight()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package labelprop implements the label propagation algorithm (LPA) of
+// Raghavan et al. (the paper's ref [46]), the approach behind several of
+// the parallel community detectors the paper compares against (Staudt &
+// Meyerhenke [10], Soman & Narang [45], Ovelgönne [12]). It serves as the
+// cross-algorithm baseline: faster per sweep than Louvain but without a
+// modularity objective or hierarchy.
+//
+// Both a sequential and a distributed implementation are provided; the
+// distributed one reuses the comm runtime and the 1D modulo decomposition
+// of the Louvain engine, so the two algorithms are directly comparable on
+// identical substrates.
+package labelprop
+
+import (
+	"fmt"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+	"parlouvain/internal/par"
+)
+
+// Options configures a label propagation run.
+type Options struct {
+	// MaxSweeps bounds the iterations; 0 means 64.
+	MaxSweeps int
+	// MinMoves stops the loop when fewer vertices change label in a
+	// sweep (as a fraction of n); 0 means 0.001.
+	MinMoves float64
+	// Seed drives the randomized tie-breaking Raghavan et al. prescribe
+	// (deterministic min-label ties let one label flood the graph) and
+	// shuffles the sequential sweep order. Any value, including 0, is a
+	// valid seed.
+	Seed uint64
+}
+
+// tieRank hashes (vertex, label, seed) to break weight ties pseudo-randomly
+// but deterministically and order-independently.
+func tieRank(u, l uint32, seed uint64) uint64 {
+	x := uint64(u)<<32 | uint64(l) + seed*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 64
+	}
+	if o.MinMoves <= 0 {
+		o.MinMoves = 0.001
+	}
+	return o
+}
+
+// Result holds a label propagation outcome.
+type Result struct {
+	// Labels maps every vertex to its community label.
+	Labels []graph.V
+	// Sweeps is the number of iterations executed.
+	Sweeps int
+	// MovesPerSweep traces convergence.
+	MovesPerSweep []int
+	// Duration is total wall time.
+	Duration time.Duration
+}
+
+// Sequential runs asynchronous LPA: each vertex adopts the label carrying
+// the largest incident weight, updates applied immediately.
+func Sequential(g *graph.Graph, opt Options) *Result {
+	opt = opt.withDefaults()
+	start := time.Now()
+	labels := make([]graph.V, g.N)
+	order := make([]uint32, g.N)
+	for i := range labels {
+		labels[i] = graph.V(i)
+		order[i] = uint32(i)
+	}
+	if opt.Seed != 0 {
+		shuffle(order, opt.Seed)
+	}
+	res := &Result{Labels: labels}
+
+	weight := make([]float64, g.N) // scratch: label -> incident weight
+	var touched []graph.V
+	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		moves := 0
+		for _, ui := range order {
+			u := graph.V(ui)
+			if g.Degree(u) == 0 {
+				continue
+			}
+			touched = touched[:0]
+			g.Neighbors(u, func(v graph.V, w float64) bool {
+				l := labels[v]
+				if weight[l] == 0 {
+					touched = append(touched, l)
+				}
+				weight[l] += w
+				return true
+			})
+			best := labels[u]
+			bestW := weight[best]
+			for _, l := range touched {
+				if weight[l] > bestW ||
+					(weight[l] == bestW && tieRank(uint32(u), uint32(l), opt.Seed) > tieRank(uint32(u), uint32(best), opt.Seed)) {
+					best, bestW = l, weight[l]
+				}
+			}
+			for _, l := range touched {
+				weight[l] = 0
+			}
+			if best != labels[u] {
+				labels[u] = best
+				moves++
+			}
+		}
+		res.MovesPerSweep = append(res.MovesPerSweep, moves)
+		res.Sweeps = sweep
+		if float64(moves) < opt.MinMoves*float64(g.N) {
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// Parallel runs synchronous LPA as one rank of a distributed group: each
+// sweep exchanges the owned vertices' labels along their edges (the same
+// In_Table orientation the Louvain engine uses), then every vertex adopts
+// the heaviest incident label. local holds this rank's destination-owned
+// edges; n is the global vertex count. Every rank returns identical labels.
+func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	part := graph.Partition{Rank: c.Rank(), Size: c.Size()}
+	nLoc := part.MaxLocalCount(n)
+
+	// In-edge CSR of owned vertices, as in the Louvain engine.
+	adjOff := make([]int64, nLoc+1)
+	for _, e := range local {
+		if !part.Owns(e.V) {
+			return nil, fmt.Errorf("labelprop: rank %d given edge with dst %d", part.Rank, e.V)
+		}
+		adjOff[part.LocalIndex(e.V)+1]++
+	}
+	for i := 0; i < nLoc; i++ {
+		adjOff[i+1] += adjOff[i]
+	}
+	adjSrc := make([]graph.V, adjOff[nLoc])
+	adjW := make([]float64, adjOff[nLoc])
+	fill := make([]int64, nLoc)
+	for _, e := range local {
+		li := part.LocalIndex(e.V)
+		p := adjOff[li] + fill[li]
+		adjSrc[p], adjW[p] = e.U, e.W
+		fill[li]++
+	}
+
+	labels := make([]graph.V, nLoc)
+	for li := range labels {
+		labels[li] = part.GlobalID(li)
+	}
+	res := &Result{}
+
+	// Per-sweep scratch: weight per (vertex, label) via a hash table
+	// keyed like the Louvain Out_Table.
+	weights := map[uint64]float64{}
+	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		// Push each owned vertex's label along its in-edges to the
+		// source owners: message (src, label(dst), w).
+		bufs := make([]comm.Buffer, c.Size())
+		for li := 0; li < nLoc; li++ {
+			l := uint32(labels[li])
+			for p := adjOff[li]; p < adjOff[li+1]; p++ {
+				b := &bufs[part.Owner(adjSrc[p])]
+				b.PutU32(adjSrc[p])
+				b.PutU32(l)
+				b.PutF64(adjW[p])
+			}
+		}
+		planes := make([][]byte, c.Size())
+		for i := range bufs {
+			planes[i] = bufs[i].Bytes()
+		}
+		in, err := c.Exchange(planes)
+		if err != nil {
+			return nil, err
+		}
+		for k := range weights {
+			delete(weights, k)
+		}
+		for _, plane := range in {
+			r := comm.NewReader(plane)
+			for r.More() {
+				u := r.U32()
+				l := r.U32()
+				w := r.F64()
+				if err := r.Err(); err != nil {
+					return nil, err
+				}
+				weights[hashfn.Pack32(u, l)] += w
+			}
+		}
+		// Adopt the heaviest label per owned vertex.
+		bestW := make([]float64, nLoc)
+		bestL := make([]graph.V, nLoc)
+		for li := range bestL {
+			bestL[li] = labels[li]
+		}
+		for key, w := range weights {
+			u, l := hashfn.Unpack32(key)
+			li := part.LocalIndex(u)
+			if w > bestW[li] ||
+				(w == bestW[li] && tieRank(u, l, opt.Seed) > tieRank(u, uint32(bestL[li]), opt.Seed)) {
+				bestW[li] = w
+				bestL[li] = graph.V(l)
+			}
+		}
+		moves := uint64(0)
+		for li := range labels {
+			if bestW[li] > 0 && bestL[li] != labels[li] {
+				labels[li] = bestL[li]
+				moves++
+			}
+		}
+		total, err := c.AllReduceUint64(moves, comm.OpSum)
+		if err != nil {
+			return nil, err
+		}
+		res.MovesPerSweep = append(res.MovesPerSweep, int(total))
+		res.Sweeps = sweep
+		if float64(total) < opt.MinMoves*float64(n) {
+			break
+		}
+	}
+
+	// Gather the full label vector so every rank returns the same result.
+	mine := make([]uint32, nLoc)
+	for li, l := range labels {
+		mine[li] = uint32(l)
+	}
+	all, err := c.AllGatherUint32(mine)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]graph.V, n)
+	for r, xs := range all {
+		for li, v := range xs {
+			gid := li*c.Size() + r
+			if gid < n {
+				full[gid] = graph.V(v)
+			}
+		}
+	}
+	res.Labels = full
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// RunInProcess mirrors core.RunInProcess for label propagation.
+func RunInProcess(el graph.EdgeList, n, ranks int, opt Options) (*Result, error) {
+	if ranks <= 0 {
+		ranks = 1
+	}
+	if n <= 0 {
+		n = el.NumVertices()
+	}
+	parts := graph.SplitEdges(el, ranks)
+	trs := comm.NewMemGroup(ranks)
+	results := make([]*Result, ranks)
+	var g par.Group
+	for r := 0; r < ranks; r++ {
+		r := r
+		g.Go(func() error {
+			res, err := Parallel(comm.New(trs[r]), parts[r], n, opt)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			results[r] = res
+			return nil
+		})
+	}
+	err := g.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+func shuffle(xs []uint32, seed uint64) {
+	s := seed
+	next := func() uint64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,144 @@
+package labelprop
+
+import (
+	"testing"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/metrics"
+)
+
+func TestSequentialTwoCliques(t *testing.T) {
+	el, truth, err := gen.RingOfCliques(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 0)
+	res := Sequential(g, Options{})
+	sim, err := metrics.Compare(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.8 {
+		t.Errorf("NMI = %v, want > 0.8", sim.NMI)
+	}
+	if res.Sweeps == 0 || len(res.MovesPerSweep) != res.Sweeps {
+		t.Errorf("trace inconsistent: %d sweeps, %v", res.Sweeps, res.MovesPerSweep)
+	}
+}
+
+func TestSequentialRecoversSBM(t *testing.T) {
+	el, truth, err := gen.SBM(gen.SBMConfig{N: 300, Communities: 6, PIn: 0.4, POut: 0.005, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 300)
+	res := Sequential(g, Options{})
+	sim, err := metrics.Compare(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.9 {
+		t.Errorf("NMI = %v, want > 0.9", sim.NMI)
+	}
+}
+
+func TestSequentialIsolatedVerticesKeepOwnLabel(t *testing.T) {
+	g := graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}}, 4)
+	res := Sequential(g, Options{})
+	if res.Labels[2] != 2 || res.Labels[3] != 3 {
+		t.Errorf("isolated labels changed: %v", res.Labels)
+	}
+	if res.Labels[0] != res.Labels[1] {
+		t.Errorf("edge endpoints should share a label: %v", res.Labels)
+	}
+}
+
+func TestParallelMatchesStructure(t *testing.T) {
+	el, truth, err := gen.LFR(gen.DefaultLFR(2000, 0.2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunInProcess(el, 2000, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 2000 {
+		t.Fatalf("labels len %d", len(res.Labels))
+	}
+	sim, err := metrics.Compare(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous LPA is noisier than Louvain; structure must still be
+	// strongly recovered on a low-mixing graph.
+	if sim.NMI < 0.7 {
+		t.Errorf("NMI = %v, want > 0.7", sim.NMI)
+	}
+}
+
+func TestParallelDeterministicAcrossRankCounts(t *testing.T) {
+	el, _, err := gen.SBM(gen.SBMConfig{N: 200, Communities: 4, PIn: 0.4, POut: 0.01, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunInProcess(el, 200, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunInProcess(el, 200, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous updates are independent of the partitioning: the
+	// label vectors must be identical, not merely similar.
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels differ at %d: %d vs %d", i, a.Labels[i], b.Labels[i])
+		}
+	}
+}
+
+func TestParallelInvalidEdge(t *testing.T) {
+	trsErr := func() error {
+		_, err := RunInProcess(graph.EdgeList{{U: 0, V: 1, W: 1}}, 0, 1, Options{})
+		return err
+	}
+	if err := trsErr(); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxSweeps != 64 || o.MinMoves != 0.001 {
+		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestSequentialSeedShufflesOrder(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(500, 0.3, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 500)
+	a := Sequential(g, Options{Seed: 1})
+	b := Sequential(g, Options{Seed: 1})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed not deterministic")
+		}
+	}
+}
+
+func BenchmarkSequentialLPA(b *testing.B) {
+	el, _, err := gen.LFR(gen.DefaultLFR(5000, 0.3, 13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Build(el, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sequential(g, Options{})
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"fmt"
+
+	"parlouvain/internal/graph"
+)
+
+// PartitionQuality bundles structural quality measures of one community
+// assignment beyond modularity: coverage (fraction of edge weight inside
+// communities), inter-community weight, and conductance statistics.
+type PartitionQuality struct {
+	Q           float64 // Newman modularity (Equation 3)
+	Coverage    float64 // intra-community weight / total weight
+	Communities int
+	// Conductance of a community c is cut(c) / min(vol(c), vol(V)-vol(c));
+	// lower is better. Max and weighted-average over communities.
+	MaxConductance float64
+	AvgConductance float64 // size-weighted
+}
+
+// Quality computes PartitionQuality in O(V+E).
+func Quality(g *graph.Graph, assign []graph.V) (PartitionQuality, error) {
+	if len(assign) != g.N {
+		return PartitionQuality{}, fmt.Errorf("metrics: assignment covers %d of %d vertices", len(assign), g.N)
+	}
+	pq := PartitionQuality{Q: Modularity(g, assign)}
+	if g.N == 0 || g.M == 0 {
+		return pq, nil
+	}
+	vol := map[graph.V]float64{}   // Σtot per community
+	cut := map[graph.V]float64{}   // boundary weight per community (double counted)
+	inner := map[graph.V]float64{} // internal weight per community (double counted, self x2)
+	size := map[graph.V]int{}
+	for u := 0; u < g.N; u++ {
+		cu := assign[u]
+		vol[cu] += g.Deg[u]
+		inner[cu] += 2 * g.SelfW[u]
+		size[cu]++
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			if assign[g.Nbr[i]] == cu {
+				inner[cu] += g.NbrW[i]
+			} else {
+				cut[cu] += g.NbrW[i]
+			}
+		}
+	}
+	pq.Communities = len(vol)
+	twoM := 2 * g.M
+	intra := 0.0
+	for c, v := range vol {
+		intra += inner[c]
+		denom := v
+		if other := twoM - v; other < denom {
+			denom = other
+		}
+		cond := 0.0
+		if denom > 0 {
+			cond = cut[c] / denom
+		} else if cut[c] > 0 {
+			cond = 1
+		}
+		if cond > pq.MaxConductance {
+			pq.MaxConductance = cond
+		}
+		pq.AvgConductance += cond * float64(size[c])
+	}
+	pq.Coverage = intra / twoM
+	pq.AvgConductance /= float64(g.N)
+	return pq, nil
+}

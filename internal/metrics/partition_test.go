@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+)
+
+func TestQualityTwoTriangles(t *testing.T) {
+	el := graph.EdgeList{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1}, {U: 5, V: 3, W: 1},
+		{U: 2, V: 3, W: 1},
+	}
+	g := graph.Build(el, 0)
+	pq, err := Quality(g, []graph.V{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 of 7 weight internal.
+	approx(t, "coverage", pq.Coverage, 6.0/7, 1e-12)
+	if pq.Communities != 2 {
+		t.Errorf("communities = %d", pq.Communities)
+	}
+	// Each triangle: cut 1, vol 7 -> conductance 1/7.
+	approx(t, "maxCond", pq.MaxConductance, 1.0/7, 1e-12)
+	approx(t, "avgCond", pq.AvgConductance, 1.0/7, 1e-12)
+	approx(t, "Q", pq.Q, 6.0/7-0.5, 1e-12)
+}
+
+func TestQualitySingleCommunity(t *testing.T) {
+	g := graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}}, 0)
+	pq, err := Quality(g, []graph.V{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Coverage != 1 || pq.MaxConductance != 0 {
+		t.Errorf("single community: %+v", pq)
+	}
+}
+
+func TestQualityValidation(t *testing.T) {
+	g := graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}}, 0)
+	if _, err := Quality(g, []graph.V{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestQualityEmpty(t *testing.T) {
+	pq, err := Quality(graph.Build(nil, 0), nil)
+	if err != nil || pq.Q != 0 {
+		t.Errorf("empty: %+v %v", pq, err)
+	}
+}
+
+func TestQualityBounds(t *testing.T) {
+	el, truth, err := gen.LFR(gen.DefaultLFR(800, 0.35, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(el, 800)
+	pq, err := Quality(g, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Coverage < 0 || pq.Coverage > 1 {
+		t.Errorf("coverage %v", pq.Coverage)
+	}
+	if pq.MaxConductance < 0 || pq.MaxConductance > 1+1e-9 {
+		t.Errorf("conductance %v", pq.MaxConductance)
+	}
+	if pq.AvgConductance > pq.MaxConductance+1e-9 {
+		t.Errorf("avg %v > max %v", pq.AvgConductance, pq.MaxConductance)
+	}
+	// Coverage at mixing 0.35 should be near 0.65.
+	if math.Abs(pq.Coverage-0.65) > 0.1 {
+		t.Errorf("coverage %v, want ~0.65", pq.Coverage)
+	}
+}

@@ -1,0 +1,160 @@
+// Package par provides the intra-rank threading primitives that stand in for
+// the paper's Pthreads layer: a chunked parallel-for, per-thread reduction
+// helpers and a reusable worker group. Every function takes an explicit
+// thread count so experiments can sweep it (Figure 7a).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultThreads returns the thread count used when a caller passes a
+// non-positive value: the number of usable CPUs.
+func DefaultThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampThreads normalizes a requested thread count against the work size.
+func clampThreads(threads, n int) int {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
+}
+
+// For splits [0,n) into one contiguous chunk per thread and calls
+// body(thread, lo, hi) concurrently. It returns once all chunks complete.
+// With threads <= 1 (or n small) the body runs inline on the caller's
+// goroutine, so single-threaded runs have zero scheduling overhead.
+func For(n, threads int, body func(thread, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			body(t, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked splits [0,n) into fixed-size chunks pulled dynamically by the
+// worker threads, for irregular per-element cost (power-law degree graphs).
+func ForChunked(n, threads, chunk int, body func(thread, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	threads = clampThreads(threads, (n+chunk-1)/chunk)
+	if threads == 1 {
+		body(0, 0, n)
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() (int, int, bool) {
+		mu.Lock()
+		lo := int(next)
+		if lo >= n {
+			mu.Unlock()
+			return 0, 0, false
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		mu.Unlock()
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				body(t, lo, hi)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// SumFloat64 computes a parallel sum of body(i) over [0,n) using per-thread
+// accumulators, avoiding false sharing by padding.
+func SumFloat64(n, threads int, body func(i int) float64) float64 {
+	threads = clampThreads(threads, n)
+	type padded struct {
+		v float64
+		_ [7]float64
+	}
+	acc := make([]padded, threads)
+	For(n, threads, func(t, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += body(i)
+		}
+		acc[t].v = s
+	})
+	total := 0.0
+	for t := range acc {
+		total += acc[t].v
+	}
+	return total
+}
+
+// Group runs a fixed set of rank bodies concurrently and collects the first
+// error. It is how the in-process multi-rank driver launches one goroutine
+// per simulated compute node.
+type Group struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	err  error
+	once bool
+}
+
+// Go launches fn on a new goroutine tracked by the group.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if !g.once {
+				g.err, g.once = err, true
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every launched body returns and reports the first error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -1,0 +1,156 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, threads := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 100, 1023} {
+			hits := make([]int32, n)
+			For(n, threads, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversRangeExactlyOnce(t *testing.T) {
+	for _, threads := range []int{0, 1, 4} {
+		for _, chunk := range []int{0, 1, 3, 64} {
+			n := 777
+			hits := make([]int32, n)
+			ForChunked(n, threads, chunk, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d chunk=%d: index %d visited %d times", threads, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForThreadIDsDisjoint(t *testing.T) {
+	const n, threads = 1000, 8
+	owner := make([]int32, n)
+	For(n, threads, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreInt32(&owner[i], int32(tid))
+		}
+	})
+	// Chunks must be contiguous and ordered by thread id.
+	for i := 1; i < n; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("thread ids not monotone: owner[%d]=%d < owner[%d]=%d", i, owner[i], i-1, owner[i-1])
+		}
+	}
+}
+
+func TestSumFloat64MatchesSerial(t *testing.T) {
+	f := func(raw []int16) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) / 8
+		}
+		want := 0.0
+		for _, v := range vals {
+			want += v
+		}
+		got := SumFloat64(len(vals), 4, func(i int) float64 { return vals[i] })
+		diff := want - got
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if want > 1 || want < -1 {
+			if want < 0 {
+				scale = -want
+			} else {
+				scale = want
+			}
+		}
+		return diff <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumFloat64Empty(t *testing.T) {
+	if got := SumFloat64(0, 4, func(int) float64 { return 1 }); got != 0 {
+		t.Errorf("SumFloat64(0) = %v, want 0", got)
+	}
+}
+
+func TestGroupPropagatesFirstError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	g.Go(func() error { return nil })
+	g.Go(func() error { return want })
+	g.Go(func() error { return nil })
+	if err := g.Wait(); !errors.Is(err, want) {
+		t.Errorf("Wait() = %v, want %v", err, want)
+	}
+}
+
+func TestGroupNoError(t *testing.T) {
+	var g Group
+	var count int32
+	for i := 0; i < 10; i++ {
+		g.Go(func() error {
+			atomic.AddInt32(&count, 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v", err)
+	}
+	if count != 10 {
+		t.Errorf("ran %d bodies, want 10", count)
+	}
+}
+
+func TestClampThreads(t *testing.T) {
+	cases := []struct{ threads, n, want int }{
+		{0, 100, DefaultThreads()},
+		{4, 2, 2},
+		{4, 100, 4},
+		{-1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := clampThreads(c.threads, c.n); got != c.want {
+			t.Errorf("clampThreads(%d,%d) = %d, want %d", c.threads, c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				For(1<<14, threads, func(_, lo, hi int) {
+					s := 0.0
+					for j := lo; j < hi; j++ {
+						s += float64(j)
+					}
+					_ = s
+				})
+			}
+		})
+	}
+}

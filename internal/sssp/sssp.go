@@ -1,0 +1,273 @@
+// Package sssp implements single-source shortest paths, sequential and
+// distributed. Along with BFS (internal/bfs), SSSP was the second workload
+// the paper's messaging runtime was validated on ("Scalable Single Source
+// Shortest Path Algorithms for Massively Parallel Systems", its ref [28]);
+// the distributed version is a label-correcting Bellman–Ford over the same
+// BSP substrate and 1D decomposition as the Louvain engine.
+package sssp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/par"
+)
+
+// Inf marks unreachable vertices.
+var Inf = math.Inf(1)
+
+// Sequential computes shortest path distances from root with Dijkstra's
+// algorithm (non-negative weights required).
+func Sequential(g *graph.Graph, root graph.V) ([]float64, error) {
+	if int(root) >= g.N {
+		return nil, fmt.Errorf("sssp: root %d outside [0,%d)", root, g.N)
+	}
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[root] = 0
+	pq := &distHeap{{root, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		u := item.v
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			w := g.NbrW[i]
+			if w < 0 {
+				return nil, fmt.Errorf("sssp: negative edge weight %v", w)
+			}
+			v := g.Nbr[i]
+			if nd := item.d + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, distItem{v, nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+type distItem struct {
+	v graph.V
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Result carries a distributed SSSP outcome.
+type Result struct {
+	Dist        []float64
+	Relaxations int64
+	Rounds      int
+	Duration    time.Duration
+}
+
+// Parallel runs one rank of a distributed label-correcting SSSP: each
+// superstep relaxes the edges of vertices whose distance improved last
+// round, until a global fixed point. local is this rank's destination-owned
+// edges; weights must be non-negative.
+func Parallel(c *comm.Comm, local graph.EdgeList, n int, root graph.V) (*Result, error) {
+	if int(root) >= n {
+		return nil, fmt.Errorf("sssp: root %d outside [0,%d)", root, n)
+	}
+	start := time.Now()
+	part := graph.Partition{Rank: c.Rank(), Size: c.Size()}
+	nLoc := part.MaxLocalCount(n)
+
+	// Merge duplicate (src,dst) records by summing, matching the library's
+	// graph model (graph.Build canonicalizes multigraphs the same way).
+	// Orientation is preserved: dst stays the owned endpoint.
+	local = mergeDirected(local)
+
+	adjOff := make([]int64, nLoc+1)
+	for _, e := range local {
+		if !part.Owns(e.V) {
+			return nil, fmt.Errorf("sssp: rank %d given edge with dst %d", part.Rank, e.V)
+		}
+		if e.W < 0 {
+			return nil, fmt.Errorf("sssp: negative edge weight %v", e.W)
+		}
+		adjOff[part.LocalIndex(e.V)+1]++
+	}
+	for i := 0; i < nLoc; i++ {
+		adjOff[i+1] += adjOff[i]
+	}
+	adjSrc := make([]graph.V, adjOff[nLoc])
+	adjW := make([]float64, adjOff[nLoc])
+	fill := make([]int64, nLoc)
+	for _, e := range local {
+		li := part.LocalIndex(e.V)
+		p := adjOff[li] + fill[li]
+		adjSrc[p], adjW[p] = e.U, e.W
+		fill[li]++
+	}
+
+	dist := make([]float64, nLoc)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var active []graph.V
+	if part.Owns(root) {
+		dist[part.LocalIndex(root)] = 0
+		active = append(active, root)
+	}
+	var relaxations int64
+	rounds := 0
+
+	for {
+		rounds++
+		// Relax the out-edges of improved vertices: for owned u, its
+		// in-edge list is also its neighbor list (undirected), so send
+		// candidate distances to the neighbors' owners.
+		bufs := make([]comm.Buffer, c.Size())
+		for _, u := range active {
+			li := part.LocalIndex(u)
+			du := dist[li]
+			for p := adjOff[li]; p < adjOff[li+1]; p++ {
+				v := adjSrc[p]
+				b := &bufs[part.Owner(v)]
+				b.PutU32(v)
+				b.PutF64(du + adjW[p])
+				relaxations++
+			}
+		}
+		planes := make([][]byte, c.Size())
+		for i := range bufs {
+			planes[i] = bufs[i].Bytes()
+		}
+		in, err := c.Exchange(planes)
+		if err != nil {
+			return nil, err
+		}
+		active = active[:0]
+		improvedSet := map[graph.V]bool{}
+		for _, plane := range in {
+			r := comm.NewReader(plane)
+			for r.More() {
+				v := r.U32()
+				d := r.F64()
+				if err := r.Err(); err != nil {
+					return nil, err
+				}
+				li := part.LocalIndex(v)
+				if d < dist[li] {
+					dist[li] = d
+					if !improvedSet[graph.V(v)] {
+						improvedSet[graph.V(v)] = true
+						active = append(active, graph.V(v))
+					}
+				}
+			}
+		}
+		anyActive, err := c.AllReduceBool(len(active) > 0, false)
+		if err != nil {
+			return nil, err
+		}
+		if !anyActive {
+			break
+		}
+	}
+
+	// Gather distances (bit-pattern-safe via Float64bits).
+	mine := make([]uint32, 2*nLoc)
+	for li, d := range dist {
+		bits := math.Float64bits(d)
+		mine[2*li] = uint32(bits)
+		mine[2*li+1] = uint32(bits >> 32)
+	}
+	all, err := c.AllGatherUint32(mine)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]float64, n)
+	for r, xs := range all {
+		for li := 0; li*2+1 < len(xs); li++ {
+			gid := li*c.Size() + r
+			if gid < n {
+				bits := uint64(xs[2*li]) | uint64(xs[2*li+1])<<32
+				full[gid] = math.Float64frombits(bits)
+			}
+		}
+	}
+	totalRelax, err := c.AllReduceUint64(uint64(relaxations), comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Dist:        full,
+		Relaxations: int64(totalRelax),
+		Rounds:      rounds,
+		Duration:    time.Since(start),
+	}, nil
+}
+
+// mergeDirected sums duplicate (U,V) records without reorienting them.
+func mergeDirected(el graph.EdgeList) graph.EdgeList {
+	sort.Slice(el, func(i, j int) bool {
+		if el[i].V != el[j].V {
+			return el[i].V < el[j].V
+		}
+		return el[i].U < el[j].U
+	})
+	out := el[:0]
+	for _, e := range el {
+		if n := len(out); n > 0 && out[n-1].U == e.U && out[n-1].V == e.V {
+			out[n-1].W += e.W
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// RunInProcess mirrors core.RunInProcess for SSSP.
+func RunInProcess(el graph.EdgeList, n, ranks int, root graph.V) (*Result, error) {
+	if ranks <= 0 {
+		ranks = 1
+	}
+	if n <= 0 {
+		n = el.NumVertices()
+	}
+	parts := graph.SplitEdges(el, ranks)
+	trs := comm.NewMemGroup(ranks)
+	results := make([]*Result, ranks)
+	var g par.Group
+	for r := 0; r < ranks; r++ {
+		r := r
+		g.Go(func() error {
+			res, err := Parallel(comm.New(trs[r]), parts[r], n, root)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			results[r] = res
+			return nil
+		})
+	}
+	err := g.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}

@@ -1,0 +1,196 @@
+package parlouvain_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"parlouvain"
+)
+
+func TestPublicAPISequential(t *testing.T) {
+	el, truth, err := parlouvain.RingOfCliques(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := parlouvain.Detect(el, parlouvain.Options{})
+	if res.Q < 0.6 {
+		t.Errorf("Q = %v", res.Q)
+	}
+	sim, err := parlouvain.CompareAssignments(res.Membership, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.99 {
+		t.Errorf("NMI = %v", sim.NMI)
+	}
+}
+
+func TestPublicAPIParallel(t *testing.T) {
+	el, _, err := parlouvain.LFR(parlouvain.DefaultLFR(1000, 0.3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parlouvain.DetectParallel(el, 4, parlouvain.Options{CollectLevels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parlouvain.BuildGraph(el, 1000)
+	if q := parlouvain.Modularity(g, res.Membership); math.Abs(q-res.Q) > 1e-6 {
+		t.Errorf("reported Q %v != recomputed %v", res.Q, q)
+	}
+	sizes := parlouvain.CommunitySizes(res.Membership)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 1000 {
+		t.Errorf("community sizes sum to %d", total)
+	}
+}
+
+func TestPublicAPIDistributedTCP(t *testing.T) {
+	el, _, err := parlouvain.SBM(parlouvain.SBMConfig{N: 120, Communities: 4, PIn: 0.4, POut: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 120
+	const ranks = 3
+	parts := parlouvain.SplitEdges(el, ranks)
+
+	addrs, err := parlouvain.LocalAddrs(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*parlouvain.Result, ranks)
+	errs := make(chan error, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			tr, err := parlouvain.NewTCPTransport(parlouvain.TCPConfig{Rank: r, Addrs: addrs})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer tr.Close()
+			res, err := parlouvain.DetectDistributed(tr, parts[r], n, parlouvain.Options{CollectLevels: true})
+			results[r] = res
+			errs <- err
+		}(r)
+	}
+	for r := 0; r < ranks; r++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every rank reports the same result; compare against in-process.
+	mem, err := parlouvain.DetectParallel(el, ranks, parlouvain.Options{CollectLevels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		if results[r].Q != mem.Q {
+			t.Errorf("rank %d TCP Q %v != in-process Q %v", r, results[r].Q, mem.Q)
+		}
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	dir := t.TempDir()
+	el, err := parlouvain.RMAT(parlouvain.DefaultRMAT(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.bin")
+	if err := parlouvain.SaveGraph(path, el); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parlouvain.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(el) {
+		t.Errorf("round trip %d edges, want %d", len(back), len(el))
+	}
+}
+
+func TestPublicAPIBTER(t *testing.T) {
+	el, truth, err := parlouvain.BTER(parlouvain.DefaultBTER(1000, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 1000 || len(el) == 0 {
+		t.Fatalf("BTER output: %d edges, %d truth", len(el), len(truth))
+	}
+}
+
+func TestPublicAPIExtensions(t *testing.T) {
+	el, truth, err := parlouvain.RingOfCliques(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parlouvain.BuildGraph(el, 0)
+
+	// Graph summary.
+	sum := parlouvain.Summarize(g)
+	if sum.Vertices != 30 || sum.Components != 1 {
+		t.Errorf("summary %+v", sum)
+	}
+
+	// Detection + quality + refinement + dendrogram in one pipeline.
+	res, err := parlouvain.DetectParallel(el, 2, parlouvain.Options{CollectLevels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := parlouvain.Quality(g, res.Membership)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Coverage <= 0 || pq.Communities != 6 {
+		t.Errorf("quality %+v", pq)
+	}
+	refined, splits := parlouvain.SplitDisconnected(g, res.Membership)
+	if splits != 0 || len(refined) != 30 {
+		t.Errorf("refine: %d splits", splits)
+	}
+	d, err := parlouvain.BuildDendrogram(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	// Baselines.
+	labels, err := parlouvain.LabelPropagation(el, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 30 {
+		t.Errorf("LPA labels %d", len(labels))
+	}
+	eres, err := parlouvain.DetectEnsemble(el, parlouvain.EnsembleOptions{Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := parlouvain.CompareAssignments(eres.Membership, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.9 {
+		t.Errorf("ensemble NMI %v", sim.NMI)
+	}
+}
+
+func TestExtendAssignment(t *testing.T) {
+	prev := []parlouvain.V{5, 5, 7}
+	out := parlouvain.ExtendAssignment(prev, 5)
+	want := []parlouvain.V{5, 5, 7, 3, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if got := parlouvain.ExtendAssignment(prev, 2); len(got) != 2 || got[0] != 5 {
+		t.Errorf("shrink: %v", got)
+	}
+}
