@@ -5,14 +5,19 @@
 package cmd_test
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -179,6 +184,162 @@ func TestLouvaindThreeProcesses(t *testing.T) {
 	}
 	if _, err := os.Stat(outFile); err != nil {
 		t.Errorf("assignment file not written: %v", err)
+	}
+}
+
+func TestLouvainTraceFlags(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "events.jsonl")
+	chrome := filepath.Join(dir, "trace.json")
+
+	out := run(t, "louvain", "-ranks", "3", "-trace", jsonl, "-chrome-trace", chrome,
+		"-gen", "lfr:n=1500,mu=0.3,seed=9")
+	if !strings.Contains(out, "telemetry events written") {
+		t.Errorf("missing trace confirmation:\n%s", out)
+	}
+
+	// The JSONL stream must hold >= 1 "iteration" event per inner
+	// iteration reported on stdout, each line valid JSON.
+	var reportedIters int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "inner-iterations=") {
+			var n int
+			if _, err := fmt.Sscanf(line[strings.Index(line, "inner-iterations=")+len("inner-iterations="):], "%d", &n); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			reportedIters += n
+		}
+	}
+	if reportedIters == 0 {
+		t.Fatalf("no inner iterations reported:\n%s", out)
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	iterEvents := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e struct {
+			Name string `json:"name"`
+			Rank int    `json:"rank"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		if e.Name == "iteration" && e.Rank == 0 {
+			iterEvents++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if iterEvents < reportedIters {
+		t.Errorf("JSONL has %d rank-0 iteration events, want >= %d", iterEvents, reportedIters)
+	}
+
+	// The Chrome trace must validate as JSON with a traceEvents array.
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("chrome trace invalid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+}
+
+func TestLouvaindDebugEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.bin")
+	jsonl := filepath.Join(dir, "rank0.jsonl")
+	// Big enough that the detection outlives the scrape below.
+	run(t, "gengraph", "-spec", "lfr:n=20000,mu=0.35,seed=3", "-o", graph)
+
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	debugLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := debugLn.Addr().String()
+	debugLn.Close()
+
+	var wg sync.WaitGroup
+	outs := make([]string, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			args := []string{"-rank", fmt.Sprint(r), "-addrs", strings.Join(addrs, ","), "-graph", graph}
+			if r == 0 {
+				args = append(args, "-debug-addr", debugAddr, "-trace", jsonl)
+			}
+			cmd := exec.Command(filepath.Join(binDir, "louvaind"), args...)
+			b, err := cmd.CombinedOutput()
+			outs[r], errs[r] = string(b), err
+		}(r)
+	}
+
+	// Scrape /metrics and /healthz while rank 0 is running.
+	get := func(path string) (int, string, error) {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), err
+	}
+	var metricsBody, healthBody, pprofBody string
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body, err := get("/metrics")
+		if err == nil && code == 200 && strings.Contains(body, "comm_rounds_total") {
+			metricsBody = body
+			_, healthBody, _ = get("/healthz")
+			_, pprofBody, _ = get("/debug/pprof/")
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v\n%s", r, errs[r], outs[r])
+		}
+	}
+	if metricsBody == "" {
+		t.Fatal("never scraped /metrics from the running daemon")
+	}
+	for _, want := range []string{"# TYPE comm_bytes_sent_total counter", "comm_exchange_seconds_bucket", "louvain_modularity"} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+	if !strings.Contains(healthBody, `"rank":0`) || !strings.Contains(healthBody, `"mesh"`) {
+		t.Errorf("/healthz body: %s", healthBody)
+	}
+	if !strings.Contains(pprofBody, "goroutine") {
+		t.Errorf("/debug/pprof/ body missing profile index")
+	}
+	if fi, err := os.Stat(jsonl); err != nil || fi.Size() == 0 {
+		t.Errorf("rank 0 JSONL trace: err=%v", err)
 	}
 }
 

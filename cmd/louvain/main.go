@@ -43,6 +43,8 @@ func main() {
 		warmPath  = flag.String("warm", "", "warm-start from a previous assignment file (dynamic re-detection)")
 		algo      = flag.String("algo", "louvain", "algorithm: louvain | lpa (label propagation) | ensemble (core groups)")
 		refine    = flag.Bool("refine", false, "split internally disconnected communities afterwards (Leiden-style post-pass)")
+		traceF    = flag.String("trace", "", "write per-iteration telemetry events to this file as JSONL (parallel engine)")
+		chromeF   = flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,11 @@ func main() {
 		MaxLevels:     *maxLevels,
 		MaxInner:      *maxInner,
 		CollectLevels: true,
+	}
+	var rec *parlouvain.Recorder
+	if *traceF != "" || *chromeF != "" {
+		rec = parlouvain.NewRecorder()
+		opt.Recorder = rec
 	}
 	if *warmPath != "" {
 		prev, err := parlouvain.LoadPartition(*warmPath)
@@ -153,5 +160,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("assignment written to %s\n", *outPath)
+	}
+	if rec != nil {
+		if err := rec.DumpFiles(*traceF, *chromeF); err != nil {
+			log.Fatal(err)
+		}
+		if *traceF != "" {
+			fmt.Printf("telemetry events written to %s (%d events)\n", *traceF, rec.Len())
+		}
+		if *chromeF != "" {
+			fmt.Printf("chrome trace written to %s\n", *chromeF)
+		}
 	}
 }

@@ -11,6 +11,11 @@
 //	louvaind -rank 0 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -graph g.bin &
 //	louvaind -rank 1 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -graph g.bin &
 //	louvaind -rank 2 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -graph g.bin -out comms.txt
+//
+// Observability: -debug-addr starts an HTTP server with /metrics
+// (Prometheus text exposition), /healthz (rank id, mesh state, current
+// level/iteration/modularity), /debug/vars (expvar) and /debug/pprof;
+// -trace and -chrome-trace record this rank's telemetry stream to disk.
 package main
 
 import (
@@ -19,30 +24,65 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"parlouvain"
+	"parlouvain/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("louvaind: ")
 	var (
-		rank    = flag.Int("rank", -1, "this process's rank (0-based, required)")
-		addrs   = flag.String("addrs", "", "comma-separated listen addresses of all ranks, in rank order (required)")
-		graphF  = flag.String("graph", "", "graph file shared by all ranks (each keeps its partition)")
-		localF  = flag.String("local", "", "pre-split local edge file for this rank (alternative to -graph)")
-		nFlag   = flag.Int("n", 0, "global vertex count (required with -local; inferred with -graph)")
-		threads = flag.Int("threads", 1, "worker threads in this rank")
-		naive   = flag.Bool("naive", false, "disable the convergence heuristic")
-		outPath = flag.String("out", "", "write the final assignment (any rank may do this; all agree)")
-		timeout = flag.Duration("dial-timeout", 60*time.Second, "mesh establishment timeout")
+		rank      = flag.Int("rank", -1, "this process's rank (0-based, required)")
+		addrs     = flag.String("addrs", "", "comma-separated listen addresses of all ranks, in rank order (required)")
+		graphF    = flag.String("graph", "", "graph file shared by all ranks (each keeps its partition)")
+		localF    = flag.String("local", "", "pre-split local edge file for this rank (alternative to -graph)")
+		nFlag     = flag.Int("n", 0, "global vertex count (required with -local; inferred with -graph)")
+		threads   = flag.Int("threads", 1, "worker threads in this rank")
+		naive     = flag.Bool("naive", false, "disable the convergence heuristic")
+		outPath   = flag.String("out", "", "write the final assignment (any rank may do this; all agree)")
+		timeout   = flag.Duration("dial-timeout", 60*time.Second, "mesh establishment timeout")
+		traceF    = flag.String("trace", "", "write this rank's telemetry events to this file as JSONL")
+		chromeF   = flag.String("chrome-trace", "", "write this rank's Chrome trace_event JSON timeline to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	addrList := strings.Split(*addrs, ",")
 	if *rank < 0 || *addrs == "" || *rank >= len(addrList) {
 		fmt.Fprintln(os.Stderr, "usage: louvaind -rank R -addrs a0,a1,... (-graph FILE | -local FILE -n N) [flags]")
 		os.Exit(2)
+	}
+
+	// Telemetry: registry always exists when a debug server is requested;
+	// recorder only when a trace output is requested.
+	reg := parlouvain.NewMetricsRegistry()
+	var rec *parlouvain.Recorder
+	if *traceF != "" || *chromeF != "" {
+		rec = parlouvain.NewRecorder()
+	}
+	var meshState atomic.Value // "loading" -> "connecting" -> "running" -> "done"/"failed"
+	meshState.Store("loading")
+	if *debugAddr != "" {
+		gLevel := reg.Gauge("louvain_level")
+		gIter := reg.Gauge("louvain_iteration")
+		gQ := reg.Gauge("louvain_modularity")
+		srv, err := obs.ServeDebug(*debugAddr, reg, func() any {
+			return map[string]any{
+				"rank":      *rank,
+				"size":      len(addrList),
+				"mesh":      meshState.Load(),
+				"level":     int(gLevel.Value()),
+				"iteration": int(gIter.Value()),
+				"q":         gQ.Value(),
+			}
+		})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("rank %d: debug endpoints on http://%s (/metrics /healthz /debug/pprof/)", *rank, srv.Addr)
 	}
 
 	var local parlouvain.EdgeList
@@ -70,24 +110,31 @@ func main() {
 		log.Fatal("one of -graph or -local is required")
 	}
 
+	meshState.Store("connecting")
 	tr, err := parlouvain.NewTCPTransport(parlouvain.TCPConfig{
 		Rank:        *rank,
 		Addrs:       addrList,
 		DialTimeout: *timeout,
 	})
 	if err != nil {
+		meshState.Store("failed")
 		log.Fatal(err)
 	}
 	defer tr.Close()
 
+	meshState.Store("running")
 	res, err := parlouvain.DetectDistributed(tr, local, n, parlouvain.Options{
 		Threads:       *threads,
 		Naive:         *naive,
 		CollectLevels: true,
+		Recorder:      rec,
+		Metrics:       reg,
 	})
 	if err != nil {
+		meshState.Store("failed")
 		log.Fatal(err)
 	}
+	meshState.Store("done")
 	fmt.Printf("rank %d: Q=%.6f levels=%d time=%v (first level %v)\n",
 		*rank, res.Q, len(res.Levels), res.Duration.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
 	if *outPath != "" {
@@ -99,6 +146,11 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rec != nil {
+		if err := rec.DumpFiles(*traceF, *chromeF); err != nil {
 			log.Fatal(err)
 		}
 	}

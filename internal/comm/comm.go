@@ -18,7 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
+
+	"parlouvain/internal/obs"
 )
 
 // Transport performs one synchronous all-to-all round: out[i] is delivered
@@ -41,14 +44,56 @@ var ErrClosed = errors.New("comm: transport closed")
 type Comm struct {
 	tr Transport
 
-	// Traffic counters (bytes and rounds), local to this rank.
-	BytesSent     uint64
-	BytesReceived uint64
-	Rounds        uint64
+	// Traffic counters (bytes and rounds), local to this rank. Atomic:
+	// worker threads of one rank may drive concurrent planes in future
+	// layouts, and debug endpoints read them while Exchange runs.
+	bytesSent     atomic.Uint64
+	bytesReceived atomic.Uint64
+	rounds        atomic.Uint64
+
+	// Optional registry instruments (see Instrument). Nil checks keep the
+	// uninstrumented hot path at three atomic adds per round.
+	sentC, recvC, roundsC *obs.Counter
+	latencyH, planeH      *obs.Histogram
 }
 
 // New wraps a transport.
 func New(tr Transport) *Comm { return &Comm{tr: tr} }
+
+// Instrument mirrors this Comm's traffic into reg and enables the
+// per-round latency and plane-size histograms:
+//
+//	comm_bytes_sent_total / comm_bytes_received_total / comm_rounds_total
+//	comm_exchange_seconds (histogram of Exchange round latency)
+//	comm_plane_bytes      (histogram of outbound plane sizes)
+//
+// Several Comms (an in-process rank group) may share one registry; the
+// instruments are atomic, so the registry then carries group totals.
+func (c *Comm) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.sentC = reg.Counter("comm_bytes_sent_total")
+	c.recvC = reg.Counter("comm_bytes_received_total")
+	c.roundsC = reg.Counter("comm_rounds_total")
+	c.latencyH = reg.Histogram("comm_exchange_seconds", obs.LatencyBuckets)
+	c.planeH = reg.Histogram("comm_plane_bytes", obs.SizeBuckets)
+}
+
+// BytesSent returns the total bytes this rank put on the wire.
+//
+// Deprecated: accessor kept for the pre-obs field API; reads are atomic.
+func (c *Comm) BytesSent() uint64 { return c.bytesSent.Load() }
+
+// BytesReceived returns the total bytes delivered to this rank.
+//
+// Deprecated: accessor kept for the pre-obs field API; reads are atomic.
+func (c *Comm) BytesReceived() uint64 { return c.bytesReceived.Load() }
+
+// Rounds returns the number of completed Exchange rounds.
+//
+// Deprecated: accessor kept for the pre-obs field API; reads are atomic.
+func (c *Comm) Rounds() uint64 { return c.rounds.Load() }
 
 // Rank returns this rank's id in [0, Size).
 func (c *Comm) Rank() int { return c.tr.Rank() }
@@ -68,22 +113,46 @@ func (c *Comm) SimNow() (d time.Duration, ok bool) {
 	return 0, false
 }
 
-// Exchange performs a raw all-to-all, maintaining traffic counters.
+// Exchange performs a raw all-to-all, maintaining traffic counters and the
+// optional round-latency / plane-size histograms.
 func (c *Comm) Exchange(out [][]byte) ([][]byte, error) {
 	if len(out) != c.Size() {
 		return nil, fmt.Errorf("comm: Exchange with %d planes for %d ranks", len(out), c.Size())
 	}
+	var sent uint64
 	for _, b := range out {
-		c.BytesSent += uint64(len(b))
+		sent += uint64(len(b))
+		if c.planeH != nil {
+			c.planeH.Observe(float64(len(b)))
+		}
+	}
+	c.bytesSent.Add(sent)
+	if c.sentC != nil {
+		c.sentC.Add(sent)
+	}
+	var start time.Time
+	if c.latencyH != nil {
+		start = time.Now()
 	}
 	in, err := c.tr.Exchange(out)
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range in {
-		c.BytesReceived += uint64(len(b))
+	if c.latencyH != nil {
+		c.latencyH.Observe(time.Since(start).Seconds())
 	}
-	c.Rounds++
+	var recv uint64
+	for _, b := range in {
+		recv += uint64(len(b))
+	}
+	c.bytesReceived.Add(recv)
+	if c.recvC != nil {
+		c.recvC.Add(recv)
+	}
+	c.rounds.Add(1)
+	if c.roundsC != nil {
+		c.roundsC.Inc()
+	}
 	return in, nil
 }
 

@@ -3,10 +3,13 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"parlouvain/internal/obs"
 )
 
 // runGroup starts one goroutine per transport and collects errors.
@@ -243,8 +246,8 @@ func TestBarrierAndCounters(t *testing.T) {
 		if err := c.Barrier(); err != nil {
 			return err
 		}
-		if c.Rounds != 1 {
-			return fmt.Errorf("rounds = %d, want 1", c.Rounds)
+		if c.Rounds() != 1 {
+			return fmt.Errorf("rounds = %d, want 1", c.Rounds())
 		}
 		out := make([][]byte, 2)
 		out[0] = []byte("abc")
@@ -252,11 +255,80 @@ func TestBarrierAndCounters(t *testing.T) {
 		if _, err := c.Exchange(out); err != nil {
 			return err
 		}
-		if c.BytesSent != 5 {
-			return fmt.Errorf("bytes sent = %d, want 5", c.BytesSent)
+		if c.BytesSent() != 5 {
+			return fmt.Errorf("bytes sent = %d, want 5", c.BytesSent())
 		}
 		return nil
 	})
+}
+
+// TestCountersConcurrentWithExchange reads the traffic counters and the
+// metric registry from outside the rank goroutines while exchanges are in
+// flight — the access pattern of louvaind's /metrics endpoint. Run under
+// -race: the pre-obs plain-uint64 fields failed this.
+func TestCountersConcurrentWithExchange(t *testing.T) {
+	trs := NewMemGroup(2)
+	defer closeAll(trs)
+	reg := obs.NewRegistry()
+	comms := make([]*Comm, 2)
+	for i, tr := range trs {
+		comms[i] = New(tr)
+		comms[i].Instrument(reg)
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var total uint64
+			for _, c := range comms {
+				total += c.BytesSent() + c.BytesReceived() + c.Rounds()
+			}
+			_ = total
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := range comms {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			payload := make([]byte, 128)
+			for round := 0; round < 200; round++ {
+				out := [][]byte{payload, payload}
+				if _, err := c.Exchange(out); err != nil {
+					t.Errorf("exchange: %v", err)
+					return
+				}
+			}
+		}(comms[i])
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	var sent uint64
+	for _, c := range comms {
+		if c.Rounds() != 200 {
+			t.Errorf("rounds = %d, want 200", c.Rounds())
+		}
+		sent += c.BytesSent()
+	}
+	if want := uint64(2 * 200 * 2 * 128); sent != want {
+		t.Errorf("bytes sent = %d, want %d", sent, want)
+	}
+	if got := reg.Counter("comm_bytes_sent_total").Value(); got != sent {
+		t.Errorf("registry counter = %d, want %d", got, sent)
+	}
+	if got := reg.Histogram("comm_exchange_seconds", nil).Snapshot().Count; got != 400 {
+		t.Errorf("latency histogram count = %d, want 400", got)
+	}
 }
 
 func TestSingleRankGroup(t *testing.T) {

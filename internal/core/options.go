@@ -15,6 +15,7 @@ import (
 	"parlouvain/internal/edgetable"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
+	"parlouvain/internal/obs"
 	"parlouvain/internal/perf"
 )
 
@@ -102,6 +103,22 @@ type Options struct {
 	// TraceTimings, when non-nil, receives this rank's per-inner-
 	// iteration phase durations (Figure 8b; rank 0 only in parallel).
 	TraceTimings func(level, iter int, findBest, update, propagation time.Duration)
+
+	// Recorder, when non-nil, receives structured telemetry from the
+	// parallel engine: one "iteration" event per inner iteration (moved,
+	// ε, ΔQ̂, modularity, per-phase durations), one event per timed phase,
+	// and one "level" event per completed level (vertex/edge counts,
+	// reconstruction time, In_Table occupancy). A single Recorder is safe
+	// to share across every rank of an in-process group.
+	Recorder *obs.Recorder
+
+	// Metrics, when non-nil, registers live instruments on this registry:
+	// the comm traffic counters and exchange histograms plus the
+	// louvain_level / louvain_iteration / louvain_modularity gauges and
+	// louvain_moves_total / louvain_iterations_total counters that
+	// cmd/louvaind serves over /metrics. Shared registries across ranks
+	// accumulate group totals.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -9,6 +9,7 @@ import (
 	"parlouvain/internal/edgetable"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
+	"parlouvain/internal/obs"
 	"parlouvain/internal/par"
 	"parlouvain/internal/perf"
 )
@@ -102,6 +103,15 @@ type parState struct {
 
 	m  float64
 	bd *perf.Breakdown
+
+	// Telemetry (all optional; nil-checked on the hot path).
+	rec     *obs.Recorder
+	mLevel  *obs.Gauge
+	mIter   *obs.Gauge
+	mQ      *obs.Gauge
+	mActive *obs.Gauge
+	mMoves  *obs.Counter
+	mIters  *obs.Counter
 }
 
 func newParState(c *comm.Comm, n int, opt Options) *parState {
@@ -143,7 +153,40 @@ func newParState(c *comm.Comm, n int, opt Options) *parState {
 	s.remoteMembers = edgetable.New(tcfg(256))
 	s.sendBufs = make([]comm.Buffer, c.Size())
 	s.planes = make([][]byte, c.Size())
+	s.rec = opt.Recorder
+	if reg := opt.Metrics; reg != nil {
+		c.Instrument(reg)
+		s.mLevel = reg.Gauge("louvain_level")
+		s.mIter = reg.Gauge("louvain_iteration")
+		s.mQ = reg.Gauge("louvain_modularity")
+		s.mActive = reg.Gauge("louvain_active_vertices")
+		s.mMoves = reg.Counter("louvain_moves_total")
+		s.mIters = reg.Counter("louvain_iterations_total")
+	}
 	return s
+}
+
+// now returns the telemetry timestamp (µs since the recorder epoch), or 0
+// with no recorder attached.
+func (s *parState) now() int64 {
+	if s.rec == nil {
+		return 0
+	}
+	return s.rec.Now()
+}
+
+// emitPhase records one timed phase slice for the Chrome-trace timeline.
+func (s *parState) emitPhase(name string, level, iter int, ts int64, d time.Duration) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Emit(obs.Event{Name: name, Rank: s.part.Rank, Level: level, Iter: iter, TS: ts, Dur: d.Microseconds()})
+}
+
+// inTableStats aggregates the per-shard In_Table occupancy for the current
+// level's graph (valid between levelInit and reconstruct).
+func (s *parState) inTableStats() edgetable.Stats {
+	return edgetable.AggregateStats(s.in...)
 }
 
 // outBufs resets and returns the per-destination send buffers.
@@ -530,15 +573,16 @@ func (s *parState) restore() {
 
 // threshold computes ΔQ̂ for this iteration: build the global gain
 // histogram, then pick the cut that admits the top ε(iter) fraction of the
-// active vertices (Section IV-B). Naive mode admits every positive gain.
-func (s *parState) threshold(iter int, activeTotal uint64) (float64, error) {
+// active vertices (Section IV-B). It also returns the clamped ε for
+// telemetry. Naive mode admits every positive gain.
+func (s *parState) threshold(iter int, activeTotal uint64) (float64, float64, error) {
 	if s.opt.Naive {
 		// Still needs a collective so all ranks stay in lockstep on the
 		// same number of exchange rounds per iteration.
 		if err := s.c.Barrier(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return minMoveGain, nil
+		return minMoveGain, 1, nil
 	}
 	var h gainHistogram
 	for li := 0; li < s.nLoc; li++ {
@@ -547,7 +591,7 @@ func (s *parState) threshold(iter int, activeTotal uint64) (float64, error) {
 		}
 	}
 	if err := s.c.AllReduceUint64Slice(h.counts[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	eps := s.opt.Epsilon(iter)
 	if eps < 0 {
@@ -567,7 +611,7 @@ func (s *parState) threshold(iter int, activeTotal uint64) (float64, error) {
 	if target == 0 {
 		target = 1
 	}
-	return h.threshold(target), nil
+	return h.threshold(target), eps, nil
 }
 
 // update is Algorithm 4 lines 13-15: apply the admitted moves and ship the
@@ -842,13 +886,24 @@ func (s *parState) run() (*Result, error) {
 	qLevelPrev := math.Inf(-1)
 	for level := 0; level < s.opt.MaxLevels; level++ {
 		refineStart := time.Now()
+		tsLevel := s.now()
+		var inStats edgetable.Stats
+		if s.rec != nil {
+			inStats = s.inTableStats()
+		}
+		if s.mLevel != nil {
+			s.mLevel.Set(float64(level))
+			s.mActive.Set(float64(vertices))
+		}
 		var sw perf.Stopwatch
 
+		tsProp0 := s.now()
 		sw.Start(s.bd, perf.PhasePropagation)
 		if err := s.propagate(); err != nil {
 			return nil, err
 		}
 		sw.Stop()
+		s.emitPhase(perf.PhasePropagation, level, 0, tsProp0, time.Duration(s.now()-tsProp0)*time.Microsecond)
 		q, err := s.computeQ()
 		if err != nil {
 			return nil, err
@@ -858,16 +913,20 @@ func (s *parState) run() (*Result, error) {
 		var movesPerIter []int
 		sinceBest := 0
 		qMilestone := q
+		qBestLevel := q
 		for iter := 1; iter <= s.opt.MaxInner; iter++ {
 			iterStart := time.Now()
+			tsIter := s.now()
 			sw.Start(s.bd, perf.PhaseFindBest)
 			s.findBest()
 			sw.Stop()
 			tFind := time.Since(iterStart)
+			s.emitPhase(perf.PhaseFindBest, level, iter, tsIter, tFind)
 
 			tUpd := time.Now()
+			tsUpd := s.now()
 			sw.Start(s.bd, perf.PhaseUpdate)
-			dqHat, err := s.threshold(iter, vertices)
+			dqHat, eps, err := s.threshold(iter, vertices)
 			if err != nil {
 				return nil, err
 			}
@@ -877,12 +936,14 @@ func (s *parState) run() (*Result, error) {
 			}
 			sw.Stop()
 			tUpdate := time.Since(tUpd)
+			s.emitPhase(perf.PhaseUpdate, level, iter, tsUpd, tUpdate)
 
 			// Early iterations move most vertices — a full rebuild is
 			// cheaper and keeps the Out_Table compact. Once movement
 			// drops below ~10% of the active set (every rank sees the
 			// same reduced count), incremental delta propagation wins.
 			tProp := time.Now()
+			tsProp := s.now()
 			sw.Start(s.bd, perf.PhasePropagation)
 			if moved*10 < vertices {
 				err = s.propagateDelta()
@@ -894,6 +955,7 @@ func (s *parState) run() (*Result, error) {
 			}
 			sw.Stop()
 			tPropagation := time.Since(tProp)
+			s.emitPhase(perf.PhasePropagation, level, iter, tsProp, tPropagation)
 			if s.opt.TraceTimings != nil && s.c.Rank() == 0 {
 				s.opt.TraceTimings(level, iter, tFind, tUpdate, tPropagation)
 			}
@@ -905,6 +967,32 @@ func (s *parState) run() (*Result, error) {
 			movesPerIter = append(movesPerIter, int(moved))
 			if s.opt.TraceMoves != nil && s.c.Rank() == 0 {
 				s.opt.TraceMoves(level, iter, int(moved), int(vertices))
+			}
+			if qNew > qBestLevel {
+				qBestLevel = qNew
+			}
+			if s.rec != nil {
+				s.rec.Emit(obs.Event{
+					Name: "iteration", Rank: s.part.Rank, Level: level, Iter: iter,
+					TS: tsIter, Dur: time.Since(iterStart).Microseconds(),
+					Fields: map[string]float64{
+						"moved":     float64(moved),
+						"active":    float64(vertices),
+						"eps":       eps,
+						"dq_hat":    dqHat,
+						"q":         qNew,
+						"q_best":    qBestLevel,
+						"find_us":   float64(tFind.Microseconds()),
+						"update_us": float64(tUpdate.Microseconds()),
+						"prop_us":   float64(tPropagation.Microseconds()),
+					},
+				})
+			}
+			if s.mIter != nil {
+				s.mIter.Set(float64(iter))
+				s.mQ.Set(qNew)
+				s.mMoves.Add(moved)
+				s.mIters.Inc()
 			}
 			improved := qNew - q
 			q = qNew
@@ -959,14 +1047,38 @@ func (s *parState) run() (*Result, error) {
 			}
 		}
 
+		tRecon := time.Now()
+		tsRecon := s.now()
 		sw.Start(s.bd, perf.PhaseReconstruction)
 		if err := s.reconstruct(); err != nil {
 			return nil, err
 		}
 		sw.Stop()
+		dRecon := time.Since(tRecon)
+		s.emitPhase(perf.PhaseReconstruction, level, 0, tsRecon, dRecon)
 		communities, err := s.levelInit()
 		if err != nil {
 			return nil, err
+		}
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{
+				Name: "level", Rank: s.part.Rank, Level: level,
+				TS: tsLevel, Dur: s.now() - tsLevel,
+				Fields: map[string]float64{
+					"q":                q,
+					"vertices":         float64(vertices),
+					"communities":      float64(communities),
+					"inner_iterations": float64(len(movesPerIter)),
+					"recon_us":         float64(dRecon.Microseconds()),
+					"in_entries":       float64(inStats.Entries),
+					"in_slots":         float64(inStats.Slots),
+					"in_load_factor":   inStats.LoadFactor,
+					"in_avg_bin_len":   inStats.AvgBinLen,
+					"in_max_bin_len":   float64(inStats.MaxBinLen),
+					"in_mean_probe":    inStats.MeanProbe,
+					"in_growths":       float64(inStats.Growths),
+				},
+			})
 		}
 
 		lv := Level{
@@ -1001,11 +1113,11 @@ func (s *parState) run() (*Result, error) {
 		res.SimDuration = sim
 	}
 	// Total traffic across the group (one extra collective each).
-	bytes, err := s.c.AllReduceUint64(s.c.BytesSent, comm.OpSum)
+	bytes, err := s.c.AllReduceUint64(s.c.BytesSent(), comm.OpSum)
 	if err != nil {
 		return nil, err
 	}
 	res.CommBytes = bytes
-	res.CommRounds = s.c.Rounds
+	res.CommRounds = s.c.Rounds()
 	return res, nil
 }

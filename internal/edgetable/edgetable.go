@@ -426,7 +426,12 @@ type Stats struct {
 	PerPartition []int   // entries per thread partition
 	AvgBinLen    float64
 	MaxBinLen    int
-	Growths      int
+	NonEmpty     int // non-empty bins (chained) or probe clusters (probing)
+	// MeanProbe estimates the probes per successful lookup: within a bin
+	// or cluster of length L the i-th entry costs up to i probes, so the
+	// per-structure cost is L(L+1)/2 averaged over all entries.
+	MeanProbe float64
+	Growths   int
 }
 
 // Stats computes occupancy statistics over the current contents.
@@ -441,6 +446,7 @@ func (t *Table) Stats() Stats {
 		s.LoadFactor = float64(t.length) / float64(t.slots)
 	}
 	nonEmpty, totalLen := 0, 0
+	var probeCost float64
 	if t.cfg.Layout == Chained {
 		for i, bin := range t.bins {
 			if len(bin) == 0 {
@@ -448,6 +454,7 @@ func (t *Table) Stats() Stats {
 			}
 			nonEmpty++
 			totalLen += len(bin)
+			probeCost += float64(len(bin)*(len(bin)+1)) / 2
 			if len(bin) > s.MaxBinLen {
 				s.MaxBinLen = len(bin)
 			}
@@ -459,6 +466,7 @@ func (t *Table) Stats() Stats {
 			if run > 0 {
 				nonEmpty++
 				totalLen += run
+				probeCost += float64(run*(run+1)) / 2
 				if run > s.MaxBinLen {
 					s.MaxBinLen = run
 				}
@@ -478,10 +486,51 @@ func (t *Table) Stats() Stats {
 			flush() // clusters do not span partitions
 		}
 	}
+	s.NonEmpty = nonEmpty
 	if nonEmpty > 0 {
 		s.AvgBinLen = float64(totalLen) / float64(nonEmpty)
 	}
+	if s.Entries > 0 {
+		s.MeanProbe = probeCost / float64(s.Entries)
+	}
 	return s
+}
+
+// AggregateStats folds the Stats of several tables (the per-thread shards
+// of one logical table) into one summary: entries, slots and growths sum;
+// bin metrics combine over the union of bins; PerPartition concatenates in
+// shard order. Used by the telemetry layer to report one In_/Out_Table per
+// rank regardless of the shard count.
+func AggregateStats(tables ...*Table) Stats {
+	var out Stats
+	totalLen := 0.0
+	probeCost := 0.0
+	for _, t := range tables {
+		if t == nil {
+			continue
+		}
+		s := t.Stats()
+		out.Entries += s.Entries
+		out.Slots += s.Slots
+		out.Growths += s.Growths
+		out.NonEmpty += s.NonEmpty
+		out.PerPartition = append(out.PerPartition, s.PerPartition...)
+		if s.MaxBinLen > out.MaxBinLen {
+			out.MaxBinLen = s.MaxBinLen
+		}
+		totalLen += s.AvgBinLen * float64(s.NonEmpty)
+		probeCost += s.MeanProbe * float64(s.Entries)
+	}
+	if out.Slots > 0 {
+		out.LoadFactor = float64(out.Entries) / float64(out.Slots)
+	}
+	if out.NonEmpty > 0 {
+		out.AvgBinLen = totalLen / float64(out.NonEmpty)
+	}
+	if out.Entries > 0 {
+		out.MeanProbe = probeCost / float64(out.Entries)
+	}
+	return out
 }
 
 func (t *Table) partitionIndexOfSlot(slot uint64) int {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"parlouvain/internal/core"
+	"parlouvain/internal/obs"
 	"parlouvain/internal/perf"
 )
 
@@ -15,6 +16,10 @@ import (
 // first outer loop. Paper claims: the first outer loop is >90% of total
 // time, reconstruction is negligible, FIND BEST and UPDATE shrink with the
 // inner iteration while STATE PROPAGATION stays flat.
+//
+// All phase data comes from the obs telemetry stream — the same per-
+// iteration events the -trace flag records — rather than bespoke timing
+// callbacks.
 func Fig8(sizeFactor float64, ranks int) ([]Table, error) {
 	if ranks <= 0 {
 		ranks = 8
@@ -29,26 +34,35 @@ func Fig8(sizeFactor float64, ranks int) ([]Table, error) {
 	}
 	n := el.NumVertices()
 
+	rec := obs.NewRecorder()
+	res, err := core.RunInProcess(el, n, ranks, core.Options{Recorder: rec})
+	if err != nil {
+		return nil, err
+	}
+
+	// Rank 0's iteration events carry the per-phase durations; level
+	// events delimit the outer loops.
+	us := func(f map[string]float64, k string) time.Duration {
+		return time.Duration(f[k] * float64(time.Microsecond))
+	}
 	type iterTiming struct {
 		find, update, prop time.Duration
 	}
 	var level0 []iterTiming
-	var levelWall []time.Duration
-	levelStartIdx := map[int]int{}
-	res, err := core.RunInProcess(el, n, ranks, core.Options{
-		TraceTimings: func(level, iter int, find, update, prop time.Duration) {
-			if level == 0 {
-				level0 = append(level0, iterTiming{find, update, prop})
-			}
-			if _, ok := levelStartIdx[level]; !ok {
-				levelStartIdx[level] = len(levelWall)
-				levelWall = append(levelWall, 0)
-			}
-			levelWall[levelStartIdx[level]] += find + update + prop
-		},
-	})
-	if err != nil {
-		return nil, err
+	perLevelWall := map[int]time.Duration{}
+	maxLevel := 0
+	for _, e := range rec.Events() {
+		if e.Name != "iteration" || e.Rank != 0 {
+			continue
+		}
+		find, update, prop := us(e.Fields, "find_us"), us(e.Fields, "update_us"), us(e.Fields, "prop_us")
+		if e.Level == 0 {
+			level0 = append(level0, iterTiming{find, update, prop})
+		}
+		perLevelWall[e.Level] += find + update + prop
+		if e.Level > maxLevel {
+			maxLevel = e.Level
+		}
 	}
 
 	a := Table{
@@ -60,13 +74,13 @@ func Fig8(sizeFactor float64, ranks int) ([]Table, error) {
 	tot := refine + recon
 	a.AddRow(perf.PhaseRefine, refine.Round(time.Microsecond).String(), pct(refine, tot))
 	a.AddRow(perf.PhaseReconstruction, recon.Round(time.Microsecond).String(), pct(recon, tot))
-	if len(levelWall) > 0 {
+	if len(perLevelWall) > 0 {
 		var all time.Duration
-		for _, d := range levelWall {
+		for _, d := range perLevelWall {
 			all += d
 		}
 		a.Notes = append(a.Notes, fmt.Sprintf("first outer loop: %s of %s inner-phase time (%s)",
-			levelWall[0].Round(time.Microsecond), all.Round(time.Microsecond), pct(levelWall[0], all)))
+			perLevelWall[0].Round(time.Microsecond), all.Round(time.Microsecond), pct(perLevelWall[0], all)))
 	}
 
 	b := Table{

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSONL writes one JSON object per line for every recorded event, in
+// timeline order. The stream round-trips through ReadJSONL.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream produced by WriteJSONL.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(rd)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: JSONL line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat"`
+	Ph   string             `json:"ph"`
+	TS   int64              `json:"ts"`
+	Dur  int64              `json:"dur,omitempty"`
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded events in the Chrome trace_event
+// JSON format: each rank becomes one pid track, every event with a
+// duration becomes a complete ("X") slice and instantaneous events become
+// instant ("i") markers. Load the file in chrome://tracing or
+// https://ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := r.Events()
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs))}
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  "louvain",
+			TS:   e.TS,
+			PID:  e.Rank,
+			TID:  e.Level,
+			Args: e.Fields,
+		}
+		if e.Dur > 0 {
+			ce.Ph, ce.Dur = "X", e.Dur
+		} else {
+			ce.Ph = "i"
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// DumpFiles writes the recorder to jsonlPath and/or chromePath (either may
+// be empty to skip). It is the shared implementation behind the CLI -trace
+// and -chrome-trace flags.
+func (r *Recorder) DumpFiles(jsonlPath, chromePath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if jsonlPath != "" {
+		if err := write(jsonlPath, r.WriteJSONL); err != nil {
+			return fmt.Errorf("obs: writing JSONL trace: %w", err)
+		}
+	}
+	if chromePath != "" {
+		if err := write(chromePath, r.WriteChromeTrace); err != nil {
+			return fmt.Errorf("obs: writing Chrome trace: %w", err)
+		}
+	}
+	return nil
+}

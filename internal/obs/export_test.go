@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedRecorder returns a recorder with a deterministic event set used by
+// the golden-file tests.
+func fixedRecorder() *Recorder {
+	r := NewRecorder()
+	r.Emit(Event{Name: "level", Rank: 0, Level: 0, TS: 0, Dur: 200,
+		Fields: map[string]float64{"q": 0.5, "vertices": 30, "communities": 3}})
+	r.Emit(Event{Name: "STATE PROPAGATION", Rank: 1, Level: 0, Iter: 1, TS: 30, Dur: 20})
+	r.Emit(Event{Name: "iteration", Rank: 0, Level: 0, Iter: 1, TS: 100, Dur: 50,
+		Fields: map[string]float64{"moved": 10, "q": 0.25, "eps": 1}})
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+func TestJSONLGoldenRoundTrip(t *testing.T) {
+	r := fixedRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.jsonl", buf.Bytes())
+
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r.Events()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, r.Events())
+	}
+}
+
+func TestChromeTraceGoldenAndValidJSON(t *testing.T) {
+	r := fixedRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.json", buf.Bytes())
+
+	// The file must parse as standard JSON with the trace_event shape.
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(tr.TraceEvents))
+	}
+	first := tr.TraceEvents[0]
+	if first["ph"] != "X" || first["name"] != "level" {
+		t.Errorf("first trace event = %v", first)
+	}
+}
+
+func TestDumpFiles(t *testing.T) {
+	dir := t.TempDir()
+	jl := filepath.Join(dir, "e.jsonl")
+	ct := filepath.Join(dir, "t.json")
+	if err := fixedRecorder().DumpFiles(jl, ct); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{jl, ct} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("%s: err=%v", p, err)
+		}
+	}
+	// Empty paths skip output without error.
+	if err := fixedRecorder().DumpFiles("", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("comm_rounds_total").Add(7)
+	mux := NewDebugMux(reg, func() any {
+		return map[string]any{"rank": 2, "mesh": "running"}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "comm_rounds_total 7") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"mesh":"running"`) {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: %d", code)
+	} else {
+		_ = body
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	} else {
+		_ = body
+	}
+}

@@ -1,0 +1,252 @@
+// Package obs is the observability layer of the repo: a low-overhead,
+// concurrency-safe metric registry (counters, gauges, fixed-bucket
+// histograms) plus a structured event Recorder with JSONL and Chrome
+// trace_event export.
+//
+// The paper's entire evaluation (Figures 6–9) is built from per-phase,
+// per-level instrumentation — phase time breakdowns, TEPS, traffic volume,
+// ε-threshold convergence curves. obs provides that data as a first-class
+// stream instead of bespoke plumbing: the parallel engine emits one event
+// per inner iteration and per level into a Recorder, the comm layer counts
+// traffic and latency into a Registry, and cmd/louvaind exposes the
+// Registry live over HTTP in Prometheus text exposition format.
+//
+// All metric mutation paths are a single atomic op (plus one atomic CAS
+// loop for histogram sums), so instruments can sit on the algorithm's hot
+// paths and be shared by every rank of an in-process group.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets defined by increasing
+// upper bounds (a final +Inf bucket is implicit), in the Prometheus
+// cumulative-bucket style. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; the slice is small (≤ a few
+	// dozen bounds), linear scan beats binary search in practice.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view of a
+// histogram (buckets are read individually; under concurrent writes the
+// totals may trail by in-flight observations).
+type HistogramSnapshot struct {
+	Bounds  []float64 // upper bounds, exclusive of the implicit +Inf
+	Buckets []uint64  // len(Bounds)+1; last is the +Inf bucket
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot reads the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Default bucket sets for the two quantities the comm layer measures.
+var (
+	// LatencyBuckets covers 10µs .. ~10s exchange rounds, in seconds.
+	LatencyBuckets = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// SizeBuckets covers 64B .. 256MiB payloads, in bytes.
+	SizeBuckets = []float64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20}
+)
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named set of instruments. Lookup-or-create is guarded by a
+// mutex; the returned instruments themselves are lock-free, so hot paths
+// should hold on to them rather than re-resolve by name.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		// bounds filled by Histogram()
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	return r.lookup(name, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.lookup(name, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if absent (bounds of an existing histogram
+// are kept).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.lookup(name, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h == nil {
+		m.h = newHistogram(bounds)
+	}
+	return m.h
+}
+
+// Each calls fn for every registered metric in registration order with a
+// read-only view of its current value.
+func (r *Registry) Each(fn func(name string, kind string, value float64, hist *HistogramSnapshot)) {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		switch m.kind {
+		case kindCounter:
+			fn(m.name, "counter", float64(m.c.Value()), nil)
+		case kindGauge:
+			fn(m.name, "gauge", m.g.Value(), nil)
+		case kindHistogram:
+			if m.h == nil {
+				continue
+			}
+			s := m.h.Snapshot()
+			fn(m.name, "histogram", s.Sum, &s)
+		}
+	}
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), the format scraped from /metrics. Only the
+// standard library is used.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	r.Each(func(name, kind string, value float64, hist *HistogramSnapshot) {
+		switch kind {
+		case "counter":
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %s\n", name, name, formatFloat(value))
+		case "gauge":
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(value))
+		case "histogram":
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, b := range hist.Buckets {
+				cum += b
+				le := "+Inf"
+				if i < len(hist.Bounds) {
+					le = formatFloat(hist.Bounds[i])
+				}
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, le, cum)
+			}
+			fmt.Fprintf(&sb, "%s_sum %s\n", name, formatFloat(hist.Sum))
+			fmt.Fprintf(&sb, "%s_count %d\n", name, hist.Count)
+		}
+	})
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

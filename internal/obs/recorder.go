@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one structured telemetry record. The parallel engine emits one
+// per inner iteration ("iteration"), one per phase measurement (the
+// perf.Phase* names) and one per completed level ("level"); consumers such
+// as the Figure 8 harness and the Chrome-trace exporter read them back.
+//
+// TS and Dur are microseconds relative to the Recorder's epoch so that
+// events from every rank of one run share a timeline.
+type Event struct {
+	// Name classifies the event ("iteration", "level", or a phase name).
+	Name string `json:"name"`
+	// Rank is the emitting rank.
+	Rank int `json:"rank"`
+	// Level and Iter locate the event in the algorithm's nested loops.
+	// Iter is 0 for per-level events.
+	Level int `json:"level"`
+	Iter  int `json:"iter,omitempty"`
+	// TS is the event start in microseconds since the recorder epoch; Dur
+	// its duration in microseconds (0 for instantaneous events).
+	TS  int64 `json:"ts_us"`
+	Dur int64 `json:"dur_us,omitempty"`
+	// Fields carries the numeric payload (moved counts, modularity,
+	// ε thresholds, table stats, ...).
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Recorder collects events from one run. It is safe for concurrent use, so
+// one Recorder can be shared by every rank of an in-process group; separate
+// per-process recorders (cmd/louvaind) can be merged offline after reading
+// their JSONL streams back.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+}
+
+// NewRecorder returns an empty recorder whose epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Now returns the current time in microseconds since the recorder epoch,
+// the clock Event.TS is expressed in.
+func (r *Recorder) Now() int64 {
+	return time.Since(r.epoch).Microseconds()
+}
+
+// Emit appends e.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events sorted by (TS, Rank).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Merge appends every event of o (typically another rank's recorder) into
+// r. Timelines are only comparable when both recorders share an epoch —
+// true for in-process groups created from one Recorder; cross-process
+// merges retain per-process clocks, which Chrome trace viewers render as
+// per-pid tracks anyway.
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil || o == r {
+		return
+	}
+	o.mu.Lock()
+	evs := append([]Event(nil), o.events...)
+	o.mu.Unlock()
+	r.mu.Lock()
+	r.events = append(r.events, evs...)
+	r.mu.Unlock()
+}

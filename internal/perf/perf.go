@@ -76,13 +76,16 @@ func (b *Breakdown) Merge(o *Breakdown) {
 }
 
 // Max takes, per phase, the maximum of b and o: the wall-clock combiner for
-// ranks that execute phases in lockstep.
+// ranks that execute phases in lockstep. Every phase of o enters b's order
+// even when its duration is zero, so Phases() is stable across Merge/Max
+// regardless of which rank saw a phase first.
 func (b *Breakdown) Max(o *Breakdown) {
 	for _, p := range o.order {
+		if _, ok := b.total[p]; !ok {
+			b.order = append(b.order, p)
+			b.total[p] = 0
+		}
 		if o.total[p] > b.total[p] {
-			if _, ok := b.total[p]; !ok {
-				b.order = append(b.order, p)
-			}
 			b.total[p] = o.total[p]
 		}
 	}

@@ -53,6 +53,39 @@ func TestBreakdownMergeAndMax(t *testing.T) {
 	}
 }
 
+func TestBreakdownMaxZeroDurationPhaseEntersOrder(t *testing.T) {
+	// A rank that recorded a phase with zero accumulated time (e.g. a
+	// level with no reconstruction work) must still contribute the phase
+	// name, so that Phases() is stable no matter which rank is folded in
+	// first.
+	o := NewBreakdown()
+	o.Add("zero", 0)
+	o.Add("busy", time.Second)
+
+	b := NewBreakdown()
+	b.Max(o)
+	phases := b.Phases()
+	if len(phases) != 2 || phases[0] != "zero" || phases[1] != "busy" {
+		t.Errorf("Phases after Max = %v, want [zero busy]", phases)
+	}
+	if b.Get("zero") != 0 || b.Get("busy") != time.Second {
+		t.Errorf("values after Max: zero=%v busy=%v", b.Get("zero"), b.Get("busy"))
+	}
+
+	// Merge and Max must agree on the phase set.
+	m := NewBreakdown()
+	m.Merge(o)
+	if got, want := len(m.Phases()), len(phases); got != want {
+		t.Errorf("Merge phase count %d != Max phase count %d", got, want)
+	}
+
+	// A later Add to the zero phase must not duplicate the order entry.
+	b.Add("zero", time.Millisecond)
+	if got := b.Phases(); len(got) != 2 {
+		t.Errorf("Phases after Add = %v, want 2 entries", got)
+	}
+}
+
 func TestBreakdownString(t *testing.T) {
 	b := NewBreakdown()
 	b.Add(PhaseFindBest, 3*time.Second)

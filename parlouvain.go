@@ -39,6 +39,7 @@ import (
 	"parlouvain/internal/graph"
 	"parlouvain/internal/labelprop"
 	"parlouvain/internal/metrics"
+	"parlouvain/internal/obs"
 )
 
 // Core graph types, re-exported from the internal packages so that callers
@@ -117,6 +118,27 @@ func ExtendAssignment(prev []V, n int) []V {
 func DetectDistributed(t Transport, local EdgeList, n int, opt Options) (*Result, error) {
 	return core.Parallel(comm.New(t), local, n, opt)
 }
+
+// Observability layer, re-exported from internal/obs. Attach a Recorder
+// and/or MetricsRegistry through Options.Recorder / Options.Metrics to
+// capture structured run telemetry; see the README "Observability" section.
+type (
+	// Recorder collects structured events (one per inner iteration, per
+	// timed phase and per level) and exports them as JSONL or Chrome
+	// trace_event JSON.
+	Recorder = obs.Recorder
+	// TelemetryEvent is one structured record of a Recorder stream.
+	TelemetryEvent = obs.Event
+	// MetricsRegistry is a named set of live counters, gauges and
+	// histograms with Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+)
+
+// NewRecorder returns an empty telemetry recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Transport is the rank-group communication abstraction; see NewTCPTransport
 // and NewMemGroup.
