@@ -13,6 +13,7 @@ import (
 	"parlouvain/internal/comm"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/par"
+	"parlouvain/internal/wire"
 )
 
 // Unreached marks vertices not reachable from the root.
@@ -99,28 +100,27 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, root graph.V) (*Result,
 	}
 	var edgesTraversed int64
 
+	sendPlanes := wire.GetPlanes(c.Size())
+	defer sendPlanes.Release()
+	var r wire.Reader
 	for depth := int32(1); ; depth++ {
 		// Expand: notify the owners of every neighbor of the frontier.
-		bufs := make([]comm.Buffer, c.Size())
+		sendPlanes.Reset()
 		for _, u := range frontier {
 			li := part.LocalIndex(u)
 			for p := adjOff[li]; p < adjOff[li+1]; p++ {
 				v := adjSrc[p]
-				bufs[part.Owner(v)].PutU32(v)
+				sendPlanes.To(part.Owner(v)).PutU32(v)
 				edgesTraversed++
 			}
 		}
-		planes := make([][]byte, c.Size())
-		for i := range bufs {
-			planes[i] = bufs[i].Bytes()
-		}
-		in, err := c.Exchange(planes)
+		in, err := c.ExchangePlanes(sendPlanes)
 		if err != nil {
 			return nil, err
 		}
 		frontier = frontier[:0]
 		for _, plane := range in {
-			r := comm.NewReader(plane)
+			r.Reset(plane)
 			for r.More() {
 				v := r.U32()
 				if err := r.Err(); err != nil {
@@ -133,6 +133,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, root graph.V) (*Result,
 				}
 			}
 		}
+		wire.ReleasePlanes(in)
 		anyNew, err := c.AllReduceBool(len(frontier) > 0, false)
 		if err != nil {
 			return nil, err

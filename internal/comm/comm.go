@@ -10,18 +10,21 @@
 //     processes (cmd/louvaind) or separate machines.
 //
 // Both transports deliver identical bytes in identical per-source order, so
-// algorithm results are independent of the transport.
+// algorithm results are independent of the transport. Plane encoding — for
+// the collectives here and for the per-phase planes the engines build — is
+// the internal/wire codec layer; transports draw receive planes from its
+// buffer pool, and receivers hand them back with wire.ReleasePlanes once
+// decoded, keeping steady-state rounds allocation-free.
 package comm
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"sync/atomic"
 	"time"
 
 	"parlouvain/internal/obs"
+	"parlouvain/internal/wire"
 )
 
 // Transport performs one synchronous all-to-all round: out[i] is delivered
@@ -29,6 +32,11 @@ import (
 // j sent here in the same round. A nil out[i] is delivered as empty. All
 // ranks must call Exchange the same number of times; the call blocks until
 // every peer's contribution for this round has arrived.
+//
+// Delivered planes are drawn from the wire plane pool; callers that fully
+// decode a round should return it with wire.ReleasePlanes (optional — an
+// unreleased round is ordinary garbage — but released planes must never be
+// read again).
 type Transport interface {
 	Rank() int
 	Size() int
@@ -156,20 +164,36 @@ func (c *Comm) Exchange(out [][]byte) ([][]byte, error) {
 	return in, nil
 }
 
+// ExchangePlanes ships the encoded per-destination planes of p — the
+// send-side counterpart of wire.ReleasePlanes. The views handed to the
+// transport stay valid until p is next Reset or Released.
+func (c *Comm) ExchangePlanes(p *wire.Planes) ([][]byte, error) {
+	return c.Exchange(p.Views())
+}
+
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
-	_, err := c.Exchange(make([][]byte, c.Size()))
-	return err
+	out := wire.GetPlaneList(c.Size())
+	in, err := c.Exchange(out)
+	wire.ReleaseList(out)
+	if err != nil {
+		return err
+	}
+	wire.ReleasePlanes(in)
+	return nil
 }
 
 // broadcastSame sends the same payload to every rank and returns the
-// per-source results.
+// per-source results. The out-index is pooled; the caller releases the
+// received round.
 func (c *Comm) broadcastSame(payload []byte) ([][]byte, error) {
-	out := make([][]byte, c.Size())
+	out := wire.GetPlaneList(c.Size())
 	for i := range out {
 		out[i] = payload
 	}
-	return c.Exchange(out)
+	in, err := c.Exchange(out)
+	wire.ReleaseList(out)
+	return in, err
 }
 
 // ReduceOp selects the combining operator of a reduction.
@@ -189,23 +213,26 @@ const (
 // rank, so the result is bit-identical everywhere — callers branch on it
 // collectively, and a last-ulp divergence would desynchronize the group.
 func (c *Comm) AllReduceFloat64(x float64, op ReduceOp) (float64, error) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
-	in, err := c.broadcastSame(buf[:])
+	buf := wire.GetBuffer()
+	buf.PutF64(x)
+	in, err := c.broadcastSame(buf.Bytes())
+	wire.PutBuffer(buf)
 	if err != nil {
 		return 0, err
 	}
+	defer wire.ReleasePlanes(in)
 	var acc float64
+	var r wire.Reader
 	for src := 0; src < c.Size(); src++ {
 		var v float64
 		if src == c.Rank() {
 			v = x
 		} else {
-			b := in[src]
-			if len(b) != 8 {
-				return 0, fmt.Errorf("comm: AllReduceFloat64 got %d bytes from rank %d", len(b), src)
+			if len(in[src]) != 8 {
+				return 0, fmt.Errorf("comm: AllReduceFloat64 got %d bytes from rank %d", len(in[src]), src)
 			}
-			v = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			r.Reset(in[src])
+			v = r.F64()
 		}
 		if src == 0 {
 			acc = v
@@ -229,13 +256,16 @@ func (c *Comm) AllReduceFloat64(x float64, op ReduceOp) (float64, error) {
 
 // AllReduceUint64 combines one uint64 per rank with op.
 func (c *Comm) AllReduceUint64(x uint64, op ReduceOp) (uint64, error) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], x)
-	in, err := c.broadcastSame(buf[:])
+	buf := wire.GetBuffer()
+	buf.PutU64(x)
+	in, err := c.broadcastSame(buf.Bytes())
+	wire.PutBuffer(buf)
 	if err != nil {
 		return 0, err
 	}
+	defer wire.ReleasePlanes(in)
 	acc := x
+	var r wire.Reader
 	for src, b := range in {
 		if src == c.Rank() {
 			continue
@@ -243,7 +273,8 @@ func (c *Comm) AllReduceUint64(x uint64, op ReduceOp) (uint64, error) {
 		if len(b) != 8 {
 			return 0, fmt.Errorf("comm: AllReduceUint64 got %d bytes from rank %d", len(b), src)
 		}
-		v := binary.LittleEndian.Uint64(b)
+		r.Reset(b)
+		v := r.U64()
 		switch op {
 		case OpSum:
 			acc += v
@@ -260,35 +291,56 @@ func (c *Comm) AllReduceUint64(x uint64, op ReduceOp) (uint64, error) {
 	return acc, nil
 }
 
-// AllReduceBool combines one bool per rank: with and=true it returns the
-// logical AND, otherwise the logical OR.
+// AllReduceBool combines one bool per rank in a single one-byte exchange
+// round: with and=true it returns the logical AND, otherwise the logical
+// OR. (Both operators fold from the same round — frontier-emptiness checks
+// in BFS/SSSP run one collective per superstep, not two.)
 func (c *Comm) AllReduceBool(x bool, and bool) (bool, error) {
-	var v uint64
+	buf := wire.GetBuffer()
 	if x {
-		v = 1
+		buf.PutBytes([]byte{1})
+	} else {
+		buf.PutBytes([]byte{0})
 	}
-	if and {
-		min, err := c.AllReduceUint64(v, OpMin)
-		return min == 1, err
+	in, err := c.broadcastSame(buf.Bytes())
+	wire.PutBuffer(buf)
+	if err != nil {
+		return false, err
 	}
-	max, err := c.AllReduceUint64(v, OpMax)
-	return max == 1, err
+	defer wire.ReleasePlanes(in)
+	acc := x
+	for src, b := range in {
+		if src == c.Rank() {
+			continue
+		}
+		if len(b) != 1 {
+			return false, fmt.Errorf("comm: AllReduceBool got %d bytes from rank %d", len(b), src)
+		}
+		v := b[0] != 0
+		if and {
+			acc = acc && v
+		} else {
+			acc = acc || v
+		}
+	}
+	return acc, nil
 }
 
 // AllReduceFloat64Slice element-wise sums a fixed-length vector across
 // ranks; every rank receives the combined vector. Used for the gain
 // histogram of the threshold heuristic.
 func (c *Comm) AllReduceFloat64Slice(xs []float64) error {
-	payload := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(x))
-	}
-	in, err := c.broadcastSame(payload)
+	buf := wire.GetBuffer()
+	buf.PutF64s(xs)
+	in, err := c.broadcastSame(buf.Bytes())
+	wire.PutBuffer(buf)
 	if err != nil {
 		return err
 	}
+	defer wire.ReleasePlanes(in)
 	// Fold in rank order for cross-rank bit-identical results.
 	acc := make([]float64, len(xs))
+	var r wire.Reader
 	for src := 0; src < c.Size(); src++ {
 		if src == c.Rank() {
 			for i := range acc {
@@ -296,12 +348,15 @@ func (c *Comm) AllReduceFloat64Slice(xs []float64) error {
 			}
 			continue
 		}
-		b := in[src]
-		if len(b) != len(payload) {
-			return fmt.Errorf("comm: histogram length mismatch from rank %d: %d vs %d", src, len(b), len(payload))
+		r.Reset(in[src])
+		if n := r.Uvarint(); r.Err() != nil || n != uint64(len(xs)) {
+			return fmt.Errorf("comm: vector length mismatch from rank %d: got %d, want %d", src, n, len(xs))
 		}
 		for i := range acc {
-			acc[i] += math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+			acc[i] += r.F64()
+		}
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("comm: vector from rank %d: %w", src, err)
 		}
 	}
 	copy(xs, acc)
@@ -309,24 +364,31 @@ func (c *Comm) AllReduceFloat64Slice(xs []float64) error {
 }
 
 // AllReduceUint64Slice element-wise sums a fixed-length uint64 vector.
+// Integer addition commutes exactly, so contributions accumulate in place
+// with no per-call scratch.
 func (c *Comm) AllReduceUint64Slice(xs []uint64) error {
-	payload := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(payload[8*i:], x)
-	}
-	in, err := c.broadcastSame(payload)
+	buf := wire.GetBuffer()
+	buf.PutU64s(xs)
+	in, err := c.broadcastSame(buf.Bytes())
+	wire.PutBuffer(buf)
 	if err != nil {
 		return err
 	}
+	defer wire.ReleasePlanes(in)
+	var r wire.Reader
 	for src, b := range in {
 		if src == c.Rank() {
 			continue
 		}
-		if len(b) != len(payload) {
+		r.Reset(b)
+		if n := r.Uvarint(); r.Err() != nil || n != uint64(len(xs)) {
 			return fmt.Errorf("comm: vector length mismatch from rank %d", src)
 		}
 		for i := range xs {
-			xs[i] += binary.LittleEndian.Uint64(b[8*i:])
+			xs[i] += r.U64()
+		}
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("comm: vector from rank %d: %w", src, err)
 		}
 	}
 	return nil
@@ -334,28 +396,32 @@ func (c *Comm) AllReduceUint64Slice(xs []uint64) error {
 
 // AllGatherUint32 concatenates each rank's slice in rank order; every rank
 // receives the full concatenation. Used to assemble per-level assignment
-// vectors for result reporting.
+// vectors for result reporting; payloads travel as delta-varint assignment
+// planes (wire.Buffer.PutAssign), a fraction of the fixed-width size once
+// the vectors coarsen.
 func (c *Comm) AllGatherUint32(xs []uint32) ([][]uint32, error) {
-	payload := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(payload[4*i:], x)
-	}
-	in, err := c.broadcastSame(payload)
+	buf := wire.GetBuffer()
+	buf.PutAssign(xs)
+	in, err := c.broadcastSame(buf.Bytes())
+	wire.PutBuffer(buf)
 	if err != nil {
 		return nil, err
 	}
+	defer wire.ReleasePlanes(in)
 	out := make([][]uint32, c.Size())
+	var r wire.Reader
 	for src, b := range in {
 		if src == c.Rank() {
 			out[src] = xs
 			continue
 		}
-		if len(b)%4 != 0 {
-			return nil, fmt.Errorf("comm: ragged gather payload from rank %d", src)
+		r.Reset(b)
+		v := r.Assign(nil)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("comm: gather payload from rank %d: %w", src, err)
 		}
-		v := make([]uint32, len(b)/4)
-		for i := range v {
-			v[i] = binary.LittleEndian.Uint32(b[4*i:])
+		if r.More() {
+			return nil, fmt.Errorf("comm: trailing bytes in gather payload from rank %d", src)
 		}
 		out[src] = v
 	}

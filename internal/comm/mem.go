@@ -1,6 +1,10 @@
 package comm
 
-import "sync"
+import (
+	"sync"
+
+	"parlouvain/internal/wire"
+)
 
 // memHub connects the in-process transports of one rank group. Delivery is
 // a matrix of buffered channels: mail[dst][src] carries the plane sent from
@@ -57,12 +61,13 @@ func (t *memTransport) Exchange(out [][]byte) ([][]byte, error) {
 	default:
 	}
 	size := t.hub.size
-	// Deliver our planes. Planes are copied so that callers may reuse
-	// their buffers after Exchange returns, matching the TCP transport.
+	// Deliver our planes. Planes are copied (into pooled buffers) so that
+	// callers may reuse their own after Exchange returns, matching the TCP
+	// transport; the receiver recycles them via wire.ReleasePlanes.
 	for dst := 0; dst < size; dst++ {
 		var plane []byte
 		if dst < len(out) && len(out[dst]) > 0 {
-			plane = make([]byte, len(out[dst]))
+			plane = wire.GetPlane(len(out[dst]))
 			copy(plane, out[dst])
 		} else {
 			plane = []byte{}
@@ -74,7 +79,7 @@ func (t *memTransport) Exchange(out [][]byte) ([][]byte, error) {
 		}
 	}
 	// Collect everyone's plane for us, in source order.
-	in := make([][]byte, size)
+	in := wire.GetPlaneList(size)
 	for src := 0; src < size; src++ {
 		select {
 		case in[src] = <-t.hub.mail[t.rank][src]:

@@ -3,6 +3,8 @@ package comm
 import (
 	"sync"
 	"time"
+
+	"parlouvain/internal/wire"
 )
 
 // CostModel parameterizes the BSP communication cost used by the simulated
@@ -148,7 +150,8 @@ func (t *simTransport) Exchange(out [][]byte) ([][]byte, error) {
 	for dst := 0; dst < h.size; dst++ {
 		var plane []byte
 		if dst < len(out) && len(out[dst]) > 0 {
-			plane = append([]byte(nil), out[dst]...)
+			plane = wire.GetPlane(len(out[dst]))
+			copy(plane, out[dst])
 		} else {
 			plane = []byte{}
 		}
@@ -163,7 +166,7 @@ func (t *simTransport) Exchange(out [][]byte) ([][]byte, error) {
 		return nil, err
 	}
 	h.mu.Lock()
-	in := make([][]byte, h.size)
+	in := wire.GetPlaneList(h.size)
 	copy(in, h.delivered[t.rank])
 	h.mu.Unlock()
 	return in, nil

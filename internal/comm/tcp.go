@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"parlouvain/internal/wire"
 )
 
 // tcpTransport implements Transport over a full mesh of TCP connections:
@@ -137,10 +139,12 @@ func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
 	if t.closed {
 		return nil, ErrClosed
 	}
-	in := make([][]byte, t.size)
-	// Self-delivery.
-	if t.rank < len(out) && out[t.rank] != nil {
-		in[t.rank] = append([]byte(nil), out[t.rank]...)
+	in := wire.GetPlaneList(t.size)
+	// Self-delivery, copied into a pooled plane.
+	if t.rank < len(out) && len(out[t.rank]) > 0 {
+		p := wire.GetPlane(len(out[t.rank]))
+		copy(p, out[t.rank])
+		in[t.rank] = p
 	} else {
 		in[t.rank] = []byte{}
 	}
@@ -193,7 +197,7 @@ func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
 				errc <- fmt.Errorf("comm: implausible plane size %d from %d", n, src)
 				return
 			}
-			buf := make([]byte, n)
+			buf := wire.GetPlane(int(n))
 			if _, err := io.ReadFull(t.inBufs[src], buf); err != nil {
 				errc <- fmt.Errorf("comm: recv from %d: %w", src, err)
 				return

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+	"parlouvain/internal/par"
+	"parlouvain/internal/wire"
+)
+
+// State propagation: the phase that rebuilds every rank's Out_Table view of
+// its owned vertices' neighbor communities, in two flavors — a full rebuild
+// (propagate) and an incremental move-log replay (propagateDelta) — plus
+// the Σtot/member pull both feed into Equation 4. run picks the flavor per
+// iteration from the global movement count.
+
+// propagate is Algorithm 3 plus the Σtot pull that Equation 4 requires:
+// (1) every in-edge (v,u) is translated to ((v, comm[u]), w) and delivered
+// to owner(v), rebuilding the Out_Table; (2) the set of communities this
+// rank now references is sent to their owners, which reply with Σtot.
+func (s *engine) propagate() error {
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Reset()
+	}
+	p := s.outPlanes()
+	for li := 0; li < s.nLoc; li++ {
+		if !s.active[li] {
+			continue
+		}
+		cc := uint32(s.commOf[li])
+		for e := s.adjOff[li]; e < s.adjOff[li+1]; e++ {
+			src := s.adjSrc[e]
+			s.planes.To(s.part.Owner(src)).PutTriple(wire.Triple{A: src, B: cc, W: s.adjW[e]})
+		}
+	}
+	in, err := s.exchange(p)
+	if err != nil {
+		return err
+	}
+	// Insert received (u, c, w) into the Out_Table shard of u. Each
+	// worker decodes every plane but only handles its own shard, keeping
+	// inserts race-free and deterministic.
+	var decodeErr error
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		var r wire.Reader
+		for _, plane := range in {
+			r.Reset(plane)
+			for r.More() {
+				tr := r.Triple()
+				if r.Err() != nil {
+					break
+				}
+				li := s.part.LocalIndex(tr.A)
+				if li%s.opt.Threads != t {
+					continue
+				}
+				s.out[t].AddPair(tr.A, tr.B, tr.W)
+			}
+			if err := r.Err(); err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+		}
+	})
+	wire.ReleasePlanes(in)
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return s.pullTotals(true)
+}
+
+// propagateDelta refreshes the Out_Table incrementally after an update:
+// only the in-edges of vertices that changed community are rebroadcast,
+// moving their contribution from the old community's aggregation to the
+// new one. The Σtot cache is re-pulled in full (totals change even for
+// communities whose membership this rank did not touch).
+func (s *engine) propagateDelta() error {
+	p := s.outPlanes()
+	for _, mv := range s.moveLog {
+		li := mv.li
+		oldC, newC := uint32(mv.oldC), uint32(s.commOf[li])
+		for e := s.adjOff[li]; e < s.adjOff[li+1]; e++ {
+			src := s.adjSrc[e]
+			b := p.To(s.part.Owner(src))
+			b.PutU32(src)
+			b.PutU32(oldC)
+			b.PutU32(newC)
+			b.PutF64(s.adjW[e])
+		}
+	}
+	in, err := s.exchange(p)
+	if err != nil {
+		return err
+	}
+	var decodeErr error
+	newComms := make([][]uint32, s.opt.Threads)
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		var r wire.Reader
+		for _, plane := range in {
+			r.Reset(plane)
+			for r.More() {
+				u := r.U32()
+				oldC := r.U32()
+				newC := r.U32()
+				w := r.F64()
+				if r.Err() != nil {
+					break
+				}
+				li := s.part.LocalIndex(u)
+				if li%s.opt.Threads != t {
+					continue
+				}
+				s.out[t].AddPair(u, oldC, -w)
+				if s.out[t].AddPair(u, newC, w) {
+					newComms[t] = append(newComms[t], newC)
+				}
+			}
+			if err := r.Err(); err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+		}
+	})
+	wire.ReleasePlanes(in)
+	if decodeErr != nil {
+		return decodeErr
+	}
+	// Extend the Σtot reference set with the newly-seen communities; the
+	// existing keys are kept, so no Out_Table rescan is needed.
+	for _, ccs := range newComms {
+		for _, cc := range ccs {
+			s.remoteTot.Set(uint64(cc), 0)
+		}
+	}
+	return s.pullTotals(false)
+}
+
+// pullTotals refreshes remoteTot and remoteMembers with the Σtot and
+// member count of every community that appears in the Out_Table or as an
+// owned vertex's current community.
+func (s *engine) pullTotals(rescan bool) error {
+	// The remoteTot table itself deduplicates the request set: every
+	// referenced community is inserted once with a zero placeholder,
+	// then overwritten by its owner's response. After a delta
+	// propagation that introduced no new (vertex, community) keys, the
+	// reference set is unchanged and the rescan is skipped — only the
+	// values are refreshed.
+	if rescan {
+		s.remoteTot.Reset()
+		s.remoteMembers.Reset()
+		for t := 0; t < s.opt.Threads; t++ {
+			s.out[t].Range(func(key uint64, _ float64) bool {
+				_, cc := hashfn.Unpack32(key)
+				s.remoteTot.Set(uint64(cc), 0)
+				return true
+			})
+		}
+		for li := 0; li < s.nLoc; li++ {
+			if s.active[li] {
+				s.remoteTot.Set(uint64(s.commOf[li]), 0)
+			}
+		}
+	}
+	req := s.outPlanes()
+	s.remoteTot.Range(func(key uint64, _ float64) bool {
+		req.To(s.part.Owner(graph.V(key))).PutU32(uint32(key))
+		return true
+	})
+	reqs, err := s.exchange(req)
+	if err != nil {
+		return err
+	}
+	resp := s.outPlanes()
+	var r wire.Reader
+	for src, plane := range reqs {
+		r.Reset(plane)
+		b := resp.To(src)
+		for r.More() {
+			cc := r.U32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			li := s.part.LocalIndex(cc)
+			b.PutU32(cc)
+			b.PutF64(s.totOwn[li])
+			b.PutF64(float64(s.memOwn[li]))
+		}
+	}
+	wire.ReleasePlanes(reqs)
+	resps, err := s.exchange(resp)
+	if err != nil {
+		return err
+	}
+	for _, plane := range resps {
+		r.Reset(plane)
+		for r.More() {
+			cc := r.U32()
+			tot := r.F64()
+			members := r.F64()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			s.remoteTot.Set(uint64(cc), tot)
+			s.remoteMembers.Set(uint64(cc), members)
+		}
+	}
+	wire.ReleasePlanes(resps)
+	return nil
+}

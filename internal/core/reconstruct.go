@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+	"parlouvain/internal/par"
+	"parlouvain/internal/wire"
+)
+
+// Graph construction: loading the rank's input edges, deriving per-level
+// vertex state from the In_Table, collapsing communities into the next
+// level's supergraph (Algorithm 5), and gathering the level's assignment
+// vector for result reporting.
+
+// loadLocal fills the In_Table from this rank's input edges. Self-loop
+// weights are doubled on insertion so that the degree of a vertex is simply
+// the sum of its in-entries (DESIGN.md §5); the doubling is consistent
+// across levels because graph reconstruction regenerates (c,c) entries
+// already doubled.
+func (s *engine) loadLocal(local graph.EdgeList) error {
+	for _, e := range local {
+		if !s.part.Owns(e.V) {
+			return fmt.Errorf("core: rank %d given edge with dst %d owned by rank %d", s.part.Rank, e.V, s.part.Owner(e.V))
+		}
+		if int(e.V) >= s.n || int(e.U) >= s.n {
+			return fmt.Errorf("core: edge (%d,%d) outside vertex space %d", e.U, e.V, s.n)
+		}
+		w := e.W
+		if e.U == e.V {
+			w *= 2
+		}
+		li := s.part.LocalIndex(e.V)
+		s.in[s.shardOf(li)].AddPair(e.U, e.V, w)
+	}
+	return nil
+}
+
+// levelInit derives per-vertex state from the current In_Table and returns
+// the global number of active vertices. It is called at the start of every
+// level (the In_Table is the level's graph).
+func (s *engine) levelInit() (uint64, error) {
+	for i := 0; i < s.nLoc; i++ {
+		s.active[i] = false
+		s.k[i] = 0
+		s.self2[i] = 0
+		s.totOwn[i] = 0
+		s.commOf[i] = s.part.GlobalID(i)
+	}
+	if cap(s.adjOff) >= s.nLoc+1 {
+		s.adjOff = s.adjOff[:s.nLoc+1]
+		for i := range s.adjOff {
+			s.adjOff[i] = 0
+		}
+	} else {
+		s.adjOff = make([]int64, s.nLoc+1)
+	}
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		s.in[t].Range(func(key uint64, w float64) bool {
+			src, dst := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(dst)
+			s.active[li] = true
+			s.k[li] += w
+			s.adjOff[li+1]++
+			if src == dst {
+				s.self2[li] = w
+			}
+			return true
+		})
+	})
+	var localK float64
+	var localActive uint64
+	for i := 0; i < s.nLoc; i++ {
+		s.memOwn[i] = 0
+		if s.active[i] {
+			localK += s.k[i]
+			s.totOwn[i] = s.k[i]
+			s.memOwn[i] = 1
+			localActive++
+		}
+	}
+	// Build the in-edge CSR (second pass over the In_Table).
+	for i := 0; i < s.nLoc; i++ {
+		s.adjOff[i+1] += s.adjOff[i]
+	}
+	total := int(s.adjOff[s.nLoc])
+	if cap(s.adjSrc) >= total {
+		s.adjSrc = s.adjSrc[:total]
+		s.adjW = s.adjW[:total]
+	} else {
+		s.adjSrc = make([]graph.V, total)
+		s.adjW = make([]float64, total)
+	}
+	fill := make([]int64, s.nLoc)
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		s.in[t].Range(func(key uint64, w float64) bool {
+			src, dst := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(dst)
+			p := s.adjOff[li] + fill[li]
+			s.adjSrc[p] = src
+			s.adjW[p] = w
+			fill[li]++
+			return true
+		})
+	})
+	twoM, err := s.c.AllReduceFloat64(localK, comm.OpSum)
+	if err != nil {
+		return 0, err
+	}
+	s.m = twoM / 2
+	return s.c.AllReduceUint64(localActive, comm.OpSum)
+}
+
+// reconstruct is Algorithm 5: translate every Out_Table aggregation
+// ((u,c),w) into a supergraph in-edge ((comm[u], c), w) at owner(c),
+// rebuilding the In_Table for the next level.
+func (s *engine) reconstruct() error {
+	p := s.outPlanes()
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Range(func(key uint64, w float64) bool {
+			if w == 0 {
+				return true // emptied by delta propagation
+			}
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			if !s.active[li] {
+				return true
+			}
+			// src supervertex = comm[u]; dst supervertex cc is owned by
+			// the destination rank.
+			p.To(s.part.Owner(graph.V(cc))).PutTriple(wire.Triple{A: uint32(s.commOf[li]), B: cc, W: w})
+			return true
+		})
+	}
+	for t := 0; t < s.opt.Threads; t++ {
+		s.in[t].Reset()
+	}
+	in, err := s.exchange(p)
+	if err != nil {
+		return err
+	}
+	var decodeErr error
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		var r wire.Reader
+		for _, plane := range in {
+			r.Reset(plane)
+			for r.More() {
+				tr := r.Triple()
+				if r.Err() != nil {
+					break
+				}
+				li := s.part.LocalIndex(tr.B)
+				if li%s.opt.Threads != t {
+					continue
+				}
+				s.in[t].AddPair(tr.A, tr.B, tr.W)
+			}
+			if err := r.Err(); err != nil && decodeErr == nil {
+				decodeErr = err
+			}
+		}
+	})
+	wire.ReleasePlanes(in)
+	if decodeErr != nil {
+		return decodeErr
+	}
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Reset()
+	}
+	return nil
+}
+
+// gatherAssignments returns the full community vector of the current level
+// (every id in [0,n), inactive ids mapping to themselves).
+func (s *engine) gatherAssignments() ([]graph.V, error) {
+	mine := make([]uint32, s.nLoc)
+	for li := 0; li < s.nLoc; li++ {
+		mine[li] = uint32(s.commOf[li])
+	}
+	all, err := s.c.AllGatherUint32(mine)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]graph.V, s.n)
+	for r, xs := range all {
+		for li, v := range xs {
+			gid := li*s.c.Size() + r
+			if gid < s.n {
+				full[gid] = graph.V(v)
+			}
+		}
+	}
+	return full, nil
+}

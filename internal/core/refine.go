@@ -1,54 +1,388 @@
 package core
 
-import "parlouvain/internal/graph"
+import (
+	"time"
 
-// SplitDisconnected post-processes an assignment so that every community is
-// internally connected, splitting each disconnected community into its
-// connected components. Louvain (sequential and parallel alike) can produce
-// internally disconnected communities — the defect later addressed by the
-// Leiden refinement — and splitting them never decreases modularity.
-// Returns the refined assignment (compact labels) and the number of
-// communities that were split.
-func SplitDisconnected(g *graph.Graph, assign []graph.V) ([]graph.V, int) {
-	if len(assign) != g.N {
-		panic("core: assignment length mismatch")
+	"parlouvain/internal/comm"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+	"parlouvain/internal/obs"
+	"parlouvain/internal/par"
+	"parlouvain/internal/perf"
+	"parlouvain/internal/wire"
+)
+
+// The refinement phase (Algorithm 4): the inner iteration loop of one level
+// — find the best move per vertex, pick the global gain threshold, apply
+// the admitted moves, re-propagate, and measure modularity — with the
+// best-state snapshot/rollback that tolerates transient Q dips under stale
+// parallel information.
+
+// refineLevel runs the inner loop for one level, starting from modularity
+// q0 (measured right after the level's full propagation), and returns the
+// level's final modularity and per-iteration move counts. On exit the
+// community state is the best one observed: if the loop ended below the
+// best snapshot, the level is rolled back and re-propagated.
+func (s *engine) refineLevel(level int, vertices uint64, sw *perf.Stopwatch, q0 float64) (float64, []int, error) {
+	q := q0
+	s.snapshot(q)
+
+	var movesPerIter []int
+	sinceBest := 0
+	qMilestone := q
+	qBestLevel := q
+	for iter := 1; iter <= s.opt.MaxInner; iter++ {
+		iterStart := time.Now()
+		tsIter := s.now()
+		sw.Start(s.bd, perf.PhaseFindBest)
+		s.findBest()
+		sw.Stop()
+		tFind := time.Since(iterStart)
+		s.emitPhase(perf.PhaseFindBest, level, iter, tsIter, tFind)
+
+		tUpd := time.Now()
+		tsUpd := s.now()
+		sw.Start(s.bd, perf.PhaseUpdate)
+		dqHat, eps, err := s.threshold(iter, vertices)
+		if err != nil {
+			return 0, nil, err
+		}
+		moved, err := s.update(dqHat)
+		if err != nil {
+			return 0, nil, err
+		}
+		sw.Stop()
+		tUpdate := time.Since(tUpd)
+		s.emitPhase(perf.PhaseUpdate, level, iter, tsUpd, tUpdate)
+
+		// Early iterations move most vertices — a full rebuild is
+		// cheaper and keeps the Out_Table compact. Once movement
+		// drops below ~10% of the active set (every rank sees the
+		// same reduced count), incremental delta propagation wins.
+		tProp := time.Now()
+		tsProp := s.now()
+		sw.Start(s.bd, perf.PhasePropagation)
+		if moved*10 < vertices {
+			err = s.propagateDelta()
+		} else {
+			err = s.propagate()
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		sw.Stop()
+		tPropagation := time.Since(tProp)
+		s.emitPhase(perf.PhasePropagation, level, iter, tsProp, tPropagation)
+		if s.opt.TraceTimings != nil && s.c.Rank() == 0 {
+			s.opt.TraceTimings(level, iter, tFind, tUpdate, tPropagation)
+		}
+
+		qNew, err := s.computeQ()
+		if err != nil {
+			return 0, nil, err
+		}
+		movesPerIter = append(movesPerIter, int(moved))
+		if s.opt.TraceMoves != nil && s.c.Rank() == 0 {
+			s.opt.TraceMoves(level, iter, int(moved), int(vertices))
+		}
+		if qNew > qBestLevel {
+			qBestLevel = qNew
+		}
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{
+				Name: "iteration", Rank: s.part.Rank, Level: level, Iter: iter,
+				TS: tsIter, Dur: time.Since(iterStart).Microseconds(),
+				Fields: map[string]float64{
+					"moved":     float64(moved),
+					"active":    float64(vertices),
+					"eps":       eps,
+					"dq_hat":    dqHat,
+					"q":         qNew,
+					"q_best":    qBestLevel,
+					"find_us":   float64(tFind.Microseconds()),
+					"update_us": float64(tUpdate.Microseconds()),
+					"prop_us":   float64(tPropagation.Microseconds()),
+				},
+			})
+		}
+		if s.mIter != nil {
+			s.mIter.Set(float64(iter))
+			s.mQ.Set(qNew)
+			s.mMoves.Add(moved)
+			s.mIters.Inc()
+		}
+		improved := qNew - q
+		q = qNew
+		if !s.opt.Naive {
+			if qNew > s.bestSnapQ {
+				s.snapshot(qNew)
+			}
+			if qNew > qMilestone+s.opt.ProgressGain {
+				qMilestone = qNew
+				sinceBest = 0
+			} else {
+				sinceBest++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+		// Transient Q dips are expected under stale parallel
+		// information and recovered via the best-state snapshot; the
+		// level ends when the best state stops improving. The naive
+		// baseline has no snapshots and stops on lack of immediate
+		// improvement, as in Algorithm 4.
+		const patience = 5
+		if !s.opt.Naive && sinceBest >= patience {
+			break
+		}
+		if s.opt.Naive && improved < s.opt.MinGain {
+			break
+		}
 	}
-	out := make([]graph.V, g.N)
-	const unseen = ^graph.V(0)
-	for i := range out {
-		out[i] = unseen
+	if !s.opt.Naive && q < s.bestSnapQ {
+		// Roll the level back to its best observed state before
+		// reconstructing. All ranks observe the same reduced q and
+		// restore the same snapshot iteration.
+		s.restore()
+		sw.Start(s.bd, perf.PhasePropagation)
+		if err := s.propagate(); err != nil {
+			return 0, nil, err
+		}
+		sw.Stop()
+		q = s.bestSnapQ
 	}
-	// BFS within communities: a component only spreads across edges whose
-	// endpoints share the original community.
-	next := graph.V(0)
-	splitSource := map[graph.V]int{}
-	var stack []graph.V
-	for s := 0; s < g.N; s++ {
-		if out[s] != unseen {
+	return q, movesPerIter, nil
+}
+
+// findBest is Algorithm 4 lines 4-9: for every owned active vertex, find
+// the neighbor community with the highest relative modularity gain m_u
+// over staying put. Threads work on disjoint Out_Table shards.
+func (s *engine) findBest() {
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		// Baseline: the gain of re-joining the current community.
+		for li := t; li < s.nLoc; li += s.opt.Threads {
+			if !s.active[li] {
+				continue
+			}
+			c0 := s.commOf[li]
+			tot0, _ := s.remoteTot.Get(uint64(c0))
+			w0, _ := s.out[t].GetPair(uint32(s.part.GlobalID(li)), uint32(c0))
+			s.stay[li] = dq(w0-s.self2[li], tot0-s.k[li], s.k[li], s.m)
+			s.bestGain[li] = 0
+			s.bestTo[li] = c0
+		}
+		s.out[t].Range(func(key uint64, w float64) bool {
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			c0 := s.commOf[li]
+			if !s.active[li] || graph.V(cc) == c0 {
+				return true
+			}
+			// Singleton minimum-label rule (Grappolo-style, the paper's
+			// ref [11]): when a vertex alone in its community targets
+			// another singleton community with a larger label, suppress
+			// the move. Without this, symmetric pairs swap communities
+			// forever and never merge.
+			if graph.V(cc) > c0 {
+				if mems, _ := s.remoteMembers.Get(uint64(c0)); mems == 1 {
+					if tmems, _ := s.remoteMembers.Get(uint64(cc)); tmems == 1 {
+						return true
+					}
+				}
+			}
+			tot, _ := s.remoteTot.Get(uint64(cc))
+			g := dq(w, tot, s.k[li], s.m) - s.stay[li]
+			if g > s.bestGain[li] || (g == s.bestGain[li] && g > 0 && graph.V(cc) < s.bestTo[li]) {
+				s.bestGain[li] = g
+				s.bestTo[li] = graph.V(cc)
+			}
+			return true
+		})
+	})
+}
+
+// dq is Equation 4.
+func dq(wUToC, sumTot, ku, m float64) float64 {
+	return wUToC/m - sumTot*ku/(2*m*m)
+}
+
+// snapshot records the current level state as the best seen so far.
+func (s *engine) snapshot(q float64) {
+	if s.snapComm == nil {
+		s.snapComm = make([]graph.V, s.nLoc)
+		s.snapTot = make([]float64, s.nLoc)
+		s.snapMembers = make([]int64, s.nLoc)
+	}
+	copy(s.snapComm, s.commOf)
+	copy(s.snapTot, s.totOwn)
+	copy(s.snapMembers, s.memOwn)
+	s.bestSnapQ = q
+}
+
+// restore rolls the level back to the snapshotted best state.
+func (s *engine) restore() {
+	copy(s.commOf, s.snapComm)
+	copy(s.totOwn, s.snapTot)
+	copy(s.memOwn, s.snapMembers)
+}
+
+// threshold computes ΔQ̂ for this iteration: build the global gain
+// histogram, then pick the cut that admits the top ε(iter) fraction of the
+// active vertices (Section IV-B). It also returns the clamped ε for
+// telemetry. Naive mode admits every positive gain.
+func (s *engine) threshold(iter int, activeTotal uint64) (float64, float64, error) {
+	if s.opt.Naive {
+		// Still needs a collective so all ranks stay in lockstep on the
+		// same number of exchange rounds per iteration.
+		if err := s.c.Barrier(); err != nil {
+			return 0, 0, err
+		}
+		return minMoveGain, 1, nil
+	}
+	var h gainHistogram
+	for li := 0; li < s.nLoc; li++ {
+		if s.active[li] && s.bestGain[li] > 0 {
+			h.add(s.bestGain[li])
+		}
+	}
+	if err := s.c.AllReduceUint64Slice(h.counts[:]); err != nil {
+		return 0, 0, err
+	}
+	eps := s.opt.Epsilon(iter)
+	if eps < 0 {
+		eps = 0
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	// The threshold limits *concurrent* movement; it must never block
+	// the best moves outright, so the target floors at ~1% of the active
+	// vertices (at least one): enough for the post-decay tail to make
+	// real progress per iteration while still damping oscillation.
+	target := uint64(eps * float64(activeTotal))
+	if floor := activeTotal / 100; target < floor {
+		target = floor
+	}
+	if target == 0 {
+		target = 1
+	}
+	return h.threshold(target), eps, nil
+}
+
+// update is Algorithm 4 lines 13-15: apply the admitted moves and ship the
+// Σtot deltas to the community owners.
+func (s *engine) update(dqHat float64) (uint64, error) {
+	p := s.outPlanes()
+	var moved uint64
+	s.moveLog = s.moveLog[:0]
+	for li := 0; li < s.nLoc; li++ {
+		if !s.active[li] {
 			continue
 		}
-		label := next
-		next++
-		splitSource[assign[s]]++
-		out[s] = label
-		stack = append(stack[:0], graph.V(s))
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for i := g.Off[u]; i < g.Off[u+1]; i++ {
-				v := g.Nbr[i]
-				if out[v] == unseen && assign[v] == assign[u] {
-					out[v] = label
-					stack = append(stack, v)
-				}
+		g := s.bestGain[li]
+		if g < dqHat || g < minMoveGain {
+			continue
+		}
+		newC := s.bestTo[li]
+		oldC := s.commOf[li]
+		if newC == oldC {
+			continue
+		}
+		s.commOf[li] = newC
+		s.moveLog = append(s.moveLog, moveRec{li, oldC})
+		moved++
+		bo := p.To(s.part.Owner(oldC))
+		bo.PutU32(uint32(oldC))
+		bo.PutF64(-s.k[li])
+		bn := p.To(s.part.Owner(newC))
+		bn.PutU32(uint32(newC))
+		bn.PutF64(s.k[li])
+	}
+	in, err := s.exchange(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.applyTotDeltas(in); err != nil {
+		return 0, err
+	}
+	return s.c.AllReduceUint64(moved, comm.OpSum)
+}
+
+// applyTotDeltas decodes a round of (community, ±k) planes, applying the
+// Σtot and member-count deltas to this rank's owned communities, and
+// releases the round. Shared by update and applyWarm, whose planes have the
+// same shape.
+func (s *engine) applyTotDeltas(in [][]byte) error {
+	var r wire.Reader
+	for _, plane := range in {
+		r.Reset(plane)
+		for r.More() {
+			cc := r.U32()
+			d := r.F64()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			li := s.part.LocalIndex(cc)
+			s.totOwn[li] += d
+			if d < 0 {
+				s.memOwn[li]--
+			} else {
+				s.memOwn[li]++
 			}
 		}
 	}
-	splits := 0
-	for _, pieces := range splitSource {
-		if pieces > 1 {
-			splits += pieces - 1
+	wire.ReleasePlanes(in)
+	return nil
+}
+
+// computeQ is Algorithm 4 lines 17-25: gather Σin at community owners and
+// reduce the global modularity.
+func (s *engine) computeQ() (float64, error) {
+	for i := range s.inOwn {
+		s.inOwn[i] = 0
+	}
+	p := s.outPlanes()
+	for t := 0; t < s.opt.Threads; t++ {
+		s.out[t].Range(func(key uint64, w float64) bool {
+			if w == 0 {
+				return true // emptied by delta propagation
+			}
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			if !s.active[li] || s.commOf[li] != graph.V(cc) {
+				return true
+			}
+			b := p.To(s.part.Owner(graph.V(cc)))
+			b.PutU32(cc)
+			b.PutF64(w)
+			return true
+		})
+	}
+	in, err := s.exchange(p)
+	if err != nil {
+		return 0, err
+	}
+	var r wire.Reader
+	for _, plane := range in {
+		r.Reset(plane)
+		for r.More() {
+			cc := r.U32()
+			w := r.F64()
+			if err := r.Err(); err != nil {
+				return 0, err
+			}
+			s.inOwn[s.part.LocalIndex(cc)] += w
 		}
 	}
-	return out, splits
+	wire.ReleasePlanes(in)
+	twoM := 2 * s.m
+	var qLocal float64
+	for li := 0; li < s.nLoc; li++ {
+		if s.totOwn[li] <= 0 {
+			continue
+		}
+		qLocal += s.inOwn[li]/twoM - (s.totOwn[li]/twoM)*(s.totOwn[li]/twoM)
+	}
+	return s.c.AllReduceFloat64(qLocal, comm.OpSum)
 }

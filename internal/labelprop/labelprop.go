@@ -19,6 +19,7 @@ import (
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
 	"parlouvain/internal/par"
+	"parlouvain/internal/wire"
 )
 
 // Options configures a label propagation run.
@@ -169,24 +170,20 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 	// Per-sweep scratch: weight per (vertex, label) via a hash table
 	// keyed like the Louvain Out_Table.
 	weights := map[uint64]float64{}
+	sendPlanes := wire.GetPlanes(c.Size())
+	defer sendPlanes.Release()
+	var r wire.Reader
 	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
 		// Push each owned vertex's label along its in-edges to the
 		// source owners: message (src, label(dst), w).
-		bufs := make([]comm.Buffer, c.Size())
+		sendPlanes.Reset()
 		for li := 0; li < nLoc; li++ {
 			l := uint32(labels[li])
 			for p := adjOff[li]; p < adjOff[li+1]; p++ {
-				b := &bufs[part.Owner(adjSrc[p])]
-				b.PutU32(adjSrc[p])
-				b.PutU32(l)
-				b.PutF64(adjW[p])
+				sendPlanes.To(part.Owner(adjSrc[p])).PutTriple(wire.Triple{A: adjSrc[p], B: l, W: adjW[p]})
 			}
 		}
-		planes := make([][]byte, c.Size())
-		for i := range bufs {
-			planes[i] = bufs[i].Bytes()
-		}
-		in, err := c.Exchange(planes)
+		in, err := c.ExchangePlanes(sendPlanes)
 		if err != nil {
 			return nil, err
 		}
@@ -194,17 +191,16 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 			delete(weights, k)
 		}
 		for _, plane := range in {
-			r := comm.NewReader(plane)
+			r.Reset(plane)
 			for r.More() {
-				u := r.U32()
-				l := r.U32()
-				w := r.F64()
+				tr := r.Triple()
 				if err := r.Err(); err != nil {
 					return nil, err
 				}
-				weights[hashfn.Pack32(u, l)] += w
+				weights[hashfn.Pack32(tr.A, tr.B)] += tr.W
 			}
 		}
+		wire.ReleasePlanes(in)
 		// Adopt the heaviest label per owned vertex.
 		bestW := make([]float64, nLoc)
 		bestL := make([]graph.V, nLoc)

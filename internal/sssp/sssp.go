@@ -16,6 +16,7 @@ import (
 	"parlouvain/internal/comm"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/par"
+	"parlouvain/internal/wire"
 )
 
 // Inf marks unreachable vertices.
@@ -133,35 +134,34 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, root graph.V) (*Result,
 	var relaxations int64
 	rounds := 0
 
+	sendPlanes := wire.GetPlanes(c.Size())
+	defer sendPlanes.Release()
+	var r wire.Reader
 	for {
 		rounds++
 		// Relax the out-edges of improved vertices: for owned u, its
 		// in-edge list is also its neighbor list (undirected), so send
 		// candidate distances to the neighbors' owners.
-		bufs := make([]comm.Buffer, c.Size())
+		sendPlanes.Reset()
 		for _, u := range active {
 			li := part.LocalIndex(u)
 			du := dist[li]
 			for p := adjOff[li]; p < adjOff[li+1]; p++ {
 				v := adjSrc[p]
-				b := &bufs[part.Owner(v)]
+				b := sendPlanes.To(part.Owner(v))
 				b.PutU32(v)
 				b.PutF64(du + adjW[p])
 				relaxations++
 			}
 		}
-		planes := make([][]byte, c.Size())
-		for i := range bufs {
-			planes[i] = bufs[i].Bytes()
-		}
-		in, err := c.Exchange(planes)
+		in, err := c.ExchangePlanes(sendPlanes)
 		if err != nil {
 			return nil, err
 		}
 		active = active[:0]
 		improvedSet := map[graph.V]bool{}
 		for _, plane := range in {
-			r := comm.NewReader(plane)
+			r.Reset(plane)
 			for r.More() {
 				v := r.U32()
 				d := r.F64()
@@ -178,6 +178,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, root graph.V) (*Result,
 				}
 			}
 		}
+		wire.ReleasePlanes(in)
 		anyActive, err := c.AllReduceBool(len(active) > 0, false)
 		if err != nil {
 			return nil, err

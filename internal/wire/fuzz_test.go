@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzTripleRoundTrip: decode(encode(x)) == x for triples, bit-exact
+// weights included.
+func FuzzTripleRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), float64(0))
+	f.Add(uint32(1), ^uint32(0), math.Pi)
+	f.Add(^uint32(0), uint32(7), math.Inf(-1))
+	f.Add(uint32(3), uint32(9), math.NaN())
+	f.Fuzz(func(t *testing.T, a, b uint32, w float64) {
+		var buf Buffer
+		buf.PutTriple(Triple{a, b, w})
+		r := NewReader(buf.Bytes())
+		got := r.Triple()
+		if r.Err() != nil {
+			t.Fatalf("decode error: %v", r.Err())
+		}
+		if got.A != a || got.B != b || math.Float64bits(got.W) != math.Float64bits(w) {
+			t.Fatalf("round trip (%d,%d,%x) -> (%d,%d,%x)",
+				a, b, math.Float64bits(w), got.A, got.B, math.Float64bits(got.W))
+		}
+		if r.More() {
+			t.Fatal("leftover bytes")
+		}
+	})
+}
+
+// FuzzSliceRoundTrip interprets the fuzz payload as u32/u64/f64 vectors and
+// round-trips each through its length-prefixed codec.
+func FuzzSliceRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u32 := make([]uint32, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			u32 = append(u32, binary.LittleEndian.Uint32(data[i:]))
+		}
+		u64 := make([]uint64, 0, len(data)/8)
+		f64 := make([]float64, 0, len(data)/8)
+		for i := 0; i+8 <= len(data); i += 8 {
+			x := binary.LittleEndian.Uint64(data[i:])
+			u64 = append(u64, x)
+			f64 = append(f64, math.Float64frombits(x))
+		}
+
+		var b Buffer
+		b.PutU32s(u32)
+		b.PutU64s(u64)
+		b.PutF64s(f64)
+		r := NewReader(b.Bytes())
+		gotU32 := r.U32s(nil)
+		gotU64 := r.U64s(nil)
+		gotF64 := r.F64s(nil)
+		if r.Err() != nil {
+			t.Fatalf("decode error: %v", r.Err())
+		}
+		if r.More() {
+			t.Fatal("leftover bytes")
+		}
+		if len(gotU32) != len(u32) || len(gotU64) != len(u64) || len(gotF64) != len(f64) {
+			t.Fatalf("length mismatch: %d/%d/%d want %d/%d/%d",
+				len(gotU32), len(gotU64), len(gotF64), len(u32), len(u64), len(f64))
+		}
+		for i := range u32 {
+			if gotU32[i] != u32[i] {
+				t.Fatalf("u32[%d] = %d, want %d", i, gotU32[i], u32[i])
+			}
+		}
+		for i := range u64 {
+			if gotU64[i] != u64[i] {
+				t.Fatalf("u64[%d] = %d, want %d", i, gotU64[i], u64[i])
+			}
+		}
+		for i := range f64 {
+			if math.Float64bits(gotF64[i]) != math.Float64bits(f64[i]) {
+				t.Fatalf("f64[%d] bits differ", i)
+			}
+		}
+	})
+}
+
+// FuzzAssignRoundTrip round-trips assignment planes built from the fuzz
+// payload's u32 words.
+func FuzzAssignRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xab}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := make([]uint32, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			xs = append(xs, binary.LittleEndian.Uint32(data[i:]))
+		}
+		var b Buffer
+		b.PutAssign(xs)
+		r := NewReader(b.Bytes())
+		got := r.Assign(nil)
+		if r.Err() != nil {
+			t.Fatalf("decode error: %v", r.Err())
+		}
+		if r.More() {
+			t.Fatal("leftover bytes")
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("len %d, want %d", len(got), len(xs))
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("[%d] = %d, want %d", i, got[i], xs[i])
+			}
+		}
+	})
+}
+
+// FuzzReaderNeverPanics feeds arbitrary bytes to every decoder: malformed
+// planes must surface as latched errors, never panics or runaway
+// allocation.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0x80, 0x80, 0x80}, uint8(3))
+	f.Add(bytes.Repeat([]byte{0xff}, 32), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, which uint8) {
+		var r Reader
+		r.Reset(data)
+		for i := 0; i < 64 && r.More(); i++ {
+			switch which % 7 {
+			case 0:
+				r.U32()
+			case 1:
+				r.U64()
+			case 2:
+				r.F64()
+			case 3:
+				r.Uvarint()
+			case 4:
+				r.Triple()
+			case 5:
+				r.Assign(nil)
+			case 6:
+				r.U32s(nil)
+			}
+			which++
+		}
+		// Progress invariant: either the plane is consumed or an error is
+		// latched; Remaining never goes negative.
+		if r.Remaining() < 0 {
+			t.Fatal("negative remaining")
+		}
+		if r.More() && r.Err() != nil {
+			t.Fatal("More() true after error")
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package wire
+
+import "sync"
+
+// Pooling for the exchange hot path. Three tiers of reuse:
+//
+//   - Planes: a per-destination send-buffer set, checked out once per
+//     algorithm run (or once per round by simple workloads) and Reset
+//     between rounds — buffer capacity survives both.
+//   - GetBuffer/PutBuffer: scratch encoders for collective payloads.
+//   - GetPlane/PutPlane + GetPlaneList/putPlaneList: raw receive planes and
+//     their index, used by transports to deliver rounds and returned by
+//     receivers via ReleasePlanes once decoded.
+//
+// Pool discipline: releasing is optional (an unreleased plane is just
+// garbage-collected) but a released plane must not be touched again.
+
+// Planes is a pooled set of per-destination send buffers: Bufs[i] is the
+// plane bound for rank i. Use To(i) while encoding and Views() to hand the
+// encoded planes to comm.Exchange.
+type Planes struct {
+	bufs  []Buffer
+	views [][]byte
+}
+
+var planesPool = sync.Pool{New: func() any { return new(Planes) }}
+
+// GetPlanes checks a reset n-destination plane set out of the pool.
+func GetPlanes(n int) *Planes {
+	p := planesPool.Get().(*Planes)
+	if cap(p.bufs) < n {
+		p.bufs = make([]Buffer, n)
+		p.views = make([][]byte, n)
+	}
+	p.bufs = p.bufs[:n]
+	p.views = p.views[:n]
+	p.Reset()
+	return p
+}
+
+// Release returns p to the pool. The caller must not use p, its buffers or
+// any Views() slice afterwards.
+func (p *Planes) Release() {
+	planesPool.Put(p)
+}
+
+// Size returns the number of destinations.
+func (p *Planes) Size() int { return len(p.bufs) }
+
+// Reset clears every destination buffer, keeping capacity.
+func (p *Planes) Reset() {
+	for i := range p.bufs {
+		p.bufs[i].Reset()
+	}
+}
+
+// To returns the send buffer for destination rank i.
+func (p *Planes) To(i int) *Buffer { return &p.bufs[i] }
+
+// Views returns the encoded planes in destination order, reusing an
+// internal index slice. The views alias the buffers: valid until the next
+// Reset/Release or append.
+func (p *Planes) Views() [][]byte {
+	for i := range p.bufs {
+		p.views[i] = p.bufs[i].Bytes()
+	}
+	return p.views
+}
+
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer checks a reset scratch encoder out of the pool.
+func GetBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a scratch encoder to the pool; its bytes must no longer
+// be referenced (planes built from it must be fully sent or copied).
+func PutBuffer(b *Buffer) { bufferPool.Put(b) }
+
+// planePool recycles raw receive planes; planeBoxPool recycles the *[]byte
+// header boxes that carry them through the pool, so a steady-state
+// Put/Get cycle allocates nothing (a fresh &b per Put would heap-box the
+// slice header every round). Slices of any capacity share one pool: a Get
+// that finds a too-small slice reallocates and the discarded one is
+// collected — rounds converge on large-enough planes.
+var (
+	planePool    sync.Pool // *[]byte carrying recycled planes
+	planeBoxPool sync.Pool // *[]byte empty header boxes
+)
+
+// GetPlane returns a length-n byte slice with unspecified contents (callers
+// overwrite it fully), reusing pooled capacity when available.
+func GetPlane(n int) []byte {
+	v := planePool.Get()
+	if v == nil {
+		return make([]byte, n)
+	}
+	pb := v.(*[]byte)
+	b := *pb
+	*pb = nil
+	planeBoxPool.Put(pb)
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// PutPlane recycles a plane obtained from GetPlane (or any slice the caller
+// owns outright). Empty slices are dropped: pooling them buys nothing.
+func PutPlane(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	var pb *[]byte
+	if v := planeBoxPool.Get(); v != nil {
+		pb = v.(*[]byte)
+	} else {
+		pb = new([]byte)
+	}
+	*pb = b[:0]
+	planePool.Put(pb)
+}
+
+// planeListPool recycles the per-round [][]byte receive index, with the
+// same header-box scheme.
+var (
+	planeListPool    sync.Pool // *[][]byte carrying recycled indexes
+	planeListBoxPool sync.Pool // *[][]byte empty header boxes
+)
+
+// GetPlaneList returns a length-n plane index with nil entries.
+func GetPlaneList(n int) [][]byte {
+	v := planeListPool.Get()
+	if v == nil {
+		return make([][]byte, n)
+	}
+	pl := v.(*[][]byte)
+	l := *pl
+	*pl = nil
+	planeListBoxPool.Put(pl)
+	if cap(l) < n {
+		return make([][]byte, n)
+	}
+	l = l[:n]
+	for i := range l {
+		l[i] = nil
+	}
+	return l
+}
+
+// ReleasePlanes recycles a received round: every plane goes back to the
+// plane pool and the index itself to the list pool. Callers invoke it after
+// fully decoding an Exchange result; the planes must not be read again.
+func ReleasePlanes(in [][]byte) {
+	for _, b := range in {
+		PutPlane(b)
+	}
+	ReleaseList(in)
+}
+
+// ReleaseList recycles only the index slice, leaving the planes it pointed
+// at alone — for send-side lists whose entries alias one shared payload or
+// buffers owned elsewhere.
+func ReleaseList(in [][]byte) {
+	if cap(in) == 0 {
+		return
+	}
+	in = in[:0]
+	var pl *[][]byte
+	if v := planeListBoxPool.Get(); v != nil {
+		pl = v.(*[][]byte)
+	} else {
+		pl = new([][]byte)
+	}
+	*pl = in
+	planeListPool.Put(pl)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build;
+// its shadow-memory bookkeeping allocates, so alloc-count assertions skip.
+const raceEnabled = true
