@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check clean
+.PHONY: all build test race vet fmt check chaos clean
 
 all: check
 
@@ -15,6 +15,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Repeated fault-injection runs over the transports plus the invariant and
+# cross-engine suites (what the CI chaos soak step executes).
+chaos:
+	$(GO) test -race -count=3 -run 'Chaos|TCP' ./internal/comm
+	$(GO) test -short -run 'Chaos|Invariant|CrossEngine' ./internal/core
 
 # gofmt -l lists nonconforming files; fail if any.
 fmt:

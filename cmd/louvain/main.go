@@ -43,6 +43,7 @@ func main() {
 		warmPath  = flag.String("warm", "", "warm-start from a previous assignment file (dynamic re-detection)")
 		algo      = flag.String("algo", "louvain", "algorithm: louvain | lpa (label propagation) | ensemble (core groups)")
 		refine    = flag.Bool("refine", false, "split internally disconnected communities afterwards (Leiden-style post-pass)")
+		check     = flag.Bool("check", false, "verify algorithm invariants after every level (mass conservation, rank agreement, Q monotonicity; parallel engine)")
 		traceF    = flag.String("trace", "", "write per-iteration telemetry events to this file as JSONL (parallel engine)")
 		chromeF   = flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline to this file (load in chrome://tracing or Perfetto)")
 	)
@@ -65,11 +66,12 @@ func main() {
 	}
 
 	opt := parlouvain.Options{
-		Threads:       *threads,
-		Naive:         *naive,
-		MaxLevels:     *maxLevels,
-		MaxInner:      *maxInner,
-		CollectLevels: true,
+		Threads:         *threads,
+		Naive:           *naive,
+		MaxLevels:       *maxLevels,
+		MaxInner:        *maxInner,
+		CollectLevels:   true,
+		CheckInvariants: *check,
 	}
 	var rec *parlouvain.Recorder
 	if *traceF != "" || *chromeF != "" {

@@ -44,6 +44,8 @@ func main() {
 		naive     = flag.Bool("naive", false, "disable the convergence heuristic")
 		outPath   = flag.String("out", "", "write the final assignment (any rank may do this; all agree)")
 		timeout   = flag.Duration("dial-timeout", 60*time.Second, "mesh establishment timeout")
+		roundTO   = flag.Duration("round-timeout", 0, "per-round exchange deadline; a stalled peer fails the round instead of hanging it (0 = none)")
+		check     = flag.Bool("check", false, "verify algorithm invariants after every level (mass conservation, rank agreement, Q monotonicity)")
 		traceF    = flag.String("trace", "", "write this rank's telemetry events to this file as JSONL")
 		chromeF   = flag.String("chrome-trace", "", "write this rank's Chrome trace_event JSON timeline to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. :9090)")
@@ -112,9 +114,10 @@ func main() {
 
 	meshState.Store("connecting")
 	tr, err := parlouvain.NewTCPTransport(parlouvain.TCPConfig{
-		Rank:        *rank,
-		Addrs:       addrList,
-		DialTimeout: *timeout,
+		Rank:         *rank,
+		Addrs:        addrList,
+		DialTimeout:  *timeout,
+		RoundTimeout: *roundTO,
 	})
 	if err != nil {
 		meshState.Store("failed")
@@ -124,11 +127,12 @@ func main() {
 
 	meshState.Store("running")
 	res, err := parlouvain.DetectDistributed(tr, local, n, parlouvain.Options{
-		Threads:       *threads,
-		Naive:         *naive,
-		CollectLevels: true,
-		Recorder:      rec,
-		Metrics:       reg,
+		Threads:         *threads,
+		Naive:           *naive,
+		CollectLevels:   true,
+		CheckInvariants: *check,
+		Recorder:        rec,
+		Metrics:         reg,
 	})
 	if err != nil {
 		meshState.Store("failed")

@@ -1,0 +1,324 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parlouvain/internal/obs"
+)
+
+// chaosGroup wraps every transport of a mem group with the same config.
+func chaosGroup(size int, cfg ChaosConfig) []Transport {
+	inner := NewMemGroup(size)
+	out := make([]Transport, size)
+	for i, tr := range inner {
+		out[i] = NewChaos(tr, cfg)
+	}
+	return out
+}
+
+// noisyConfig injects every recoverable fault class aggressively; a correct
+// wrapper still delivers every round unchanged under it.
+func noisyConfig(seed uint64) ChaosConfig {
+	return ChaosConfig{
+		Seed:         seed,
+		DelayProb:    0.5,
+		MaxDelay:     200 * time.Microsecond,
+		ErrProb:      0.3,
+		ResetProb:    0.1,
+		MaxRetries:   16, // failure odds ~0.4^17: negligible
+		RetryBackoff: 20 * time.Microsecond,
+		DupProb:      0.5,
+		SlowRank:     1,
+		SlowDelay:    100 * time.Microsecond,
+		SlowEvery:    2,
+	}
+}
+
+// TestChaosDeliveryUnchanged is the core contract: under heavy recoverable
+// fault injection (delays, stragglers, transient errors, resets, duplicate
+// deliveries) every round still delivers exactly the fault-free bytes.
+func TestChaosDeliveryUnchanged(t *testing.T) {
+	for _, size := range []int{2, 4} {
+		t.Run(fmt.Sprintf("ranks=%d", size), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			cfg := noisyConfig(42)
+			cfg.Metrics = reg
+			trs := chaosGroup(size, cfg)
+			defer closeAll(trs)
+			runGroup(t, trs, func(c *Comm) error {
+				for round := 0; round < 20; round++ {
+					out := make([][]byte, c.Size())
+					for dst := range out {
+						out[dst] = []byte(fmt.Sprintf("r%d->%d@%d", c.Rank(), dst, round))
+					}
+					in, err := c.Exchange(out)
+					if err != nil {
+						return err
+					}
+					for src, b := range in {
+						want := fmt.Sprintf("r%d->%d@%d", src, c.Rank(), round)
+						if string(b) != want {
+							return fmt.Errorf("round %d: got %q from %d, want %q", round, b, src, want)
+						}
+					}
+				}
+				return nil
+			})
+			var total ChaosStats
+			for _, tr := range trs {
+				st, ok := ChaosStatsOf(tr)
+				if !ok {
+					t.Fatal("ChaosStatsOf: not a chaos transport")
+				}
+				if st.Failures != 0 {
+					t.Errorf("unexpected failures: %+v", st)
+				}
+				total.Delays += st.Delays
+				total.Retries += st.Retries
+				total.Dups += st.Dups
+			}
+			if total.Delays == 0 || total.Retries == 0 || total.Dups == 0 {
+				t.Errorf("fault injector idle under noisy config: %+v", total)
+			}
+			// The registry mirrors the same counts.
+			if got := reg.Counter("chaos_retries_total").Value(); got != total.Retries {
+				t.Errorf("chaos_retries_total = %d, want %d", got, total.Retries)
+			}
+			if got := reg.Counter("chaos_dup_deliveries_total").Value(); got != total.Dups {
+				t.Errorf("chaos_dup_deliveries_total = %d, want %d", got, total.Dups)
+			}
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+			if !strings.Contains(sb.String(), "chaos_delays_total") {
+				t.Error("registry exposition missing chaos_delays_total")
+			}
+		})
+	}
+}
+
+// TestChaosDeterministicSchedule pins reproducibility: the same seed must
+// produce the identical fault schedule (and therefore identical stats), and
+// a different seed a different one.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []ChaosStats {
+		trs := chaosGroup(3, noisyConfig(seed))
+		defer closeAll(trs)
+		runGroup(t, trs, func(c *Comm) error {
+			for round := 0; round < 30; round++ {
+				out := make([][]byte, c.Size())
+				for dst := range out {
+					out[dst] = []byte{byte(c.Rank()), byte(dst), byte(round)}
+				}
+				if _, err := c.Exchange(out); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		stats := make([]ChaosStats, len(trs))
+		for i, tr := range trs {
+			stats[i], _ = ChaosStatsOf(tr)
+		}
+		return stats
+	}
+	a, b := run(7), run(7)
+	for r := range a {
+		if a[r] != b[r] {
+			t.Errorf("rank %d: same seed diverged: %+v vs %+v", r, a[r], b[r])
+		}
+	}
+	c := run(8)
+	same := true
+	for r := range a {
+		if a[r] != c[r] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical fault schedules on every rank")
+	}
+}
+
+// TestChaosFailFastUnblocksPeers: a rank whose injected faults exhaust the
+// retry budget must fail with a rank- and round-attributed ErrInjected AND
+// tear the group down so peers parked in Exchange return instead of hanging.
+func TestChaosFailFastUnblocksPeers(t *testing.T) {
+	inner := NewMemGroup(2)
+	doomed := NewChaos(inner[0], ChaosConfig{
+		Seed: 1, ErrProb: 1, MaxRetries: 2, RetryBackoff: 20 * time.Microsecond,
+	})
+	peer := inner[1]
+	errs := make(chan error, 2)
+	go func() {
+		_, err := doomed.Exchange(make([][]byte, 2))
+		errs <- err
+	}()
+	go func() {
+		_, err := peer.Exchange(make([][]byte, 2))
+		errs <- err
+	}()
+	var sawInjected, sawClosed bool
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("exchange succeeded under ErrProb=1")
+			}
+			if errors.Is(err, ErrInjected) {
+				sawInjected = true
+				for _, frag := range []string{"rank 0", "round 0", "retry budget 2"} {
+					if !strings.Contains(err.Error(), frag) {
+						t.Errorf("injected error %q missing %q", err, frag)
+					}
+				}
+			}
+			if errors.Is(err, ErrClosed) {
+				sawClosed = true
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("a rank hung after retry exhaustion — fail-fast teardown broken")
+		}
+	}
+	if !sawInjected {
+		t.Error("no rank surfaced ErrInjected")
+	}
+	if !sawClosed {
+		t.Error("peer was not unblocked with ErrClosed")
+	}
+	st, _ := ChaosStatsOf(doomed)
+	if st.Failures != 1 || st.Retries != 2 {
+		t.Errorf("stats = %+v, want 1 failure after 2 retries", st)
+	}
+}
+
+// TestChaosOverTCPRoundTimeout drives chaos over the hardened TCP mesh: a
+// straggler injected beyond RoundTimeout must surface as a rank-attributed
+// timeout on the waiting side, and nobody may hang.
+func TestChaosOverTCPRoundTimeout(t *testing.T) {
+	addrs, err := LocalAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := make([]Transport, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := NewTCP(TCPConfig{
+				Rank: r, Addrs: addrs,
+				DialTimeout:  10 * time.Second,
+				RoundTimeout: 250 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("NewTCP rank %d: %v", r, err)
+				return
+			}
+			inner[r] = tr
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	trs := []Transport{
+		NewChaos(inner[0], ChaosConfig{Seed: 3}),
+		NewChaos(inner[1], ChaosConfig{Seed: 3, SlowRank: 1, SlowDelay: 600 * time.Millisecond}),
+	}
+	defer closeAll(trs)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// The straggler's first round can still succeed from its side
+			// (the peer's frame was buffered before the peer timed out), so
+			// exchange until the mesh teardown reaches this rank.
+			for i := 0; i < 5; i++ {
+				if _, errs[r] = trs[r].Exchange(make([][]byte, 2)); errs[r] != nil {
+					return
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("exchange hung despite RoundTimeout")
+	}
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "timed out") {
+		t.Errorf("waiting rank error = %v, want a peer timeout", errs[0])
+	}
+	if errs[1] == nil {
+		t.Error("straggler rank never observed the mesh teardown")
+	}
+}
+
+// TestChaosCompletesIdenticalToFaultFree: acceptance for the recoverable
+// path — the same exchanges run fault-free and under chaos must produce
+// byte-identical incoming rounds (compared by digest).
+func TestChaosCompletesIdenticalToFaultFree(t *testing.T) {
+	run := func(chaos bool) []uint64 {
+		var trs []Transport
+		if chaos {
+			trs = chaosGroup(4, noisyConfig(99))
+		} else {
+			trs = NewMemGroup(4)
+		}
+		defer closeAll(trs)
+		digests := make([]uint64, 4)
+		runGroup(t, trs, func(c *Comm) error {
+			h := fnv.New64a()
+			for round := 0; round < 10; round++ {
+				out := make([][]byte, c.Size())
+				for dst := range out {
+					out[dst] = []byte(fmt.Sprintf("%d|%d|%d", c.Rank(), dst, round))
+				}
+				in, err := c.Exchange(out)
+				if err != nil {
+					return err
+				}
+				for _, b := range in {
+					h.Write(b)
+				}
+			}
+			digests[c.Rank()] = h.Sum64()
+			return nil
+		})
+		return digests
+	}
+	clean, faulty := run(false), run(true)
+	for r := range clean {
+		if clean[r] != faulty[r] {
+			t.Errorf("rank %d: chaos run diverged from fault-free run", r)
+		}
+	}
+}
+
+// TestChaosClosedAndMisc covers the small surface: exchanging on a closed
+// wrapper returns ErrClosed, stats extraction rejects foreign transports,
+// and a mem-backed wrapper must not claim a simulated clock.
+func TestChaosClosedAndMisc(t *testing.T) {
+	trs := chaosGroup(2, ChaosConfig{Seed: 5})
+	if trs[0].Rank() != 0 || trs[0].Size() != 2 {
+		t.Errorf("rank/size = %d/%d", trs[0].Rank(), trs[0].Size())
+	}
+	closeAll(trs)
+	if _, err := trs[0].Exchange(make([][]byte, 2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if _, ok := ChaosStatsOf(NewMemGroup(1)[0]); ok {
+		t.Error("ChaosStatsOf accepted a bare mem transport")
+	}
+	if _, ok := New(trs[0]).SimNow(); ok {
+		t.Error("mem-backed chaos wrapper claims a sim clock")
+	}
+}

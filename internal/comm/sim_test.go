@@ -209,3 +209,158 @@ func TestSimExchangeAfterOwnClose(t *testing.T) {
 		t.Errorf("err = %v, want ErrClosed", err)
 	}
 }
+
+// TestSimNowMonotonic: the simulated clock never runs backwards, from any
+// rank's point of view, across rounds of uneven payloads.
+func TestSimNowMonotonic(t *testing.T) {
+	const ranks, rounds = 3, 6
+	trs := SimGroup(ranks, CostModel{Alpha: 100 * time.Microsecond, BetaNsPerByte: 10})
+	samples := make([][]time.Duration, ranks)
+	runSimGroup(t, trs, func(c *Comm) error {
+		for round := 0; round < rounds; round++ {
+			out := make([][]byte, ranks)
+			out[(c.Rank()+round)%ranks] = make([]byte, 64*(c.Rank()+1))
+			if _, err := c.Exchange(out); err != nil {
+				return err
+			}
+			now, ok := c.SimNow()
+			if !ok {
+				return fmt.Errorf("SimNow not supported on sim transport")
+			}
+			samples[c.Rank()] = append(samples[c.Rank()], now)
+		}
+		return nil
+	})
+	for r, xs := range samples {
+		if len(xs) != rounds {
+			t.Fatalf("rank %d recorded %d samples", r, len(xs))
+		}
+		for i := 1; i < len(xs); i++ {
+			if xs[i] < xs[i-1] {
+				t.Errorf("rank %d: SimNow went backwards: %v -> %v", r, xs[i-1], xs[i])
+			}
+		}
+	}
+}
+
+// TestSimCostAccounting checks the α-β charge against a hand-computed
+// two-round schedule: round 1 has a 200-byte max per-rank volume, round 2
+// 50 bytes, so with Alpha = 1ms and Beta = 1ms/KB... here 1e6 ns/byte the
+// makespan must include 2·1ms + (200+50)·1ms of modeled cost on top of the
+// (tiny) real compute segments.
+func TestSimCostAccounting(t *testing.T) {
+	trs := SimGroup(2, CostModel{Alpha: time.Millisecond, BetaNsPerByte: 1e6})
+	var final time.Duration
+	runSimGroup(t, trs, func(c *Comm) error {
+		// Round 1: rank 0 ships 100 bytes to each rank (200 total, the
+		// round's max); rank 1 ships nothing.
+		out := make([][]byte, 2)
+		if c.Rank() == 0 {
+			out[0] = make([]byte, 100)
+			out[1] = make([]byte, 100)
+		}
+		if _, err := c.Exchange(out); err != nil {
+			return err
+		}
+		// Round 2: rank 0 ships 50 bytes (the max), rank 1 ships 30.
+		out = make([][]byte, 2)
+		if c.Rank() == 0 {
+			out[1] = make([]byte, 50)
+		} else {
+			out[0] = make([]byte, 30)
+		}
+		if _, err := c.Exchange(out); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			d, ok := c.SimNow()
+			if !ok {
+				return fmt.Errorf("SimNow not supported")
+			}
+			final = d
+		}
+		return nil
+	})
+	// Modeled: 2 rounds x 1ms alpha + (200 + 50) bytes x 1ms/byte beta.
+	want := 2*time.Millisecond + 250*time.Millisecond
+	if final < want {
+		t.Errorf("sim makespan %v, want >= %v (alpha + beta charge)", final, want)
+	}
+	if final > want+2*time.Second {
+		t.Errorf("sim makespan %v implausibly above modeled %v — real time leaked into the model", final, want)
+	}
+	if got := trs[0].(interface{ Rounds() uint64 }).Rounds(); got != 2 {
+		t.Errorf("rounds = %d, want 2", got)
+	}
+}
+
+// TestChaosSimDeterminism: a chaos-wrapped simulated group is fully
+// reproducible — the same seed yields the same delivered bytes, the same
+// round count and the identical per-rank fault schedule, and the wrapper
+// still exposes the simulated clock.
+func TestChaosSimDeterminism(t *testing.T) {
+	const ranks, rounds = 3, 8
+	run := func(seed uint64) ([]uint64, []ChaosStats, uint64) {
+		inner := SimGroup(ranks, CostModel{Alpha: 20 * time.Microsecond, BetaNsPerByte: 1})
+		trs := make([]Transport, ranks)
+		for i, tr := range inner {
+			trs[i] = NewChaos(tr, ChaosConfig{
+				Seed:         seed,
+				DelayProb:    0.5,
+				MaxDelay:     100 * time.Microsecond,
+				ErrProb:      0.25,
+				MaxRetries:   16,
+				RetryBackoff: 10 * time.Microsecond,
+				DupProb:      0.5,
+			})
+		}
+		digests := make([]uint64, ranks)
+		runSimGroup(t, trs, func(c *Comm) error {
+			if _, ok := c.SimNow(); !ok {
+				return fmt.Errorf("chaos wrapper dropped the sim clock")
+			}
+			var digest uint64 = 1469598103934665603 // FNV-64a offset basis
+			for round := 0; round < rounds; round++ {
+				out := make([][]byte, ranks)
+				for dst := range out {
+					out[dst] = []byte(fmt.Sprintf("%d.%d.%d", c.Rank(), dst, round))
+				}
+				in, err := c.Exchange(out)
+				if err != nil {
+					return err
+				}
+				for _, b := range in {
+					for _, x := range b {
+						digest = (digest ^ uint64(x)) * 1099511628211
+					}
+				}
+			}
+			digests[c.Rank()] = digest
+			return nil
+		})
+		stats := make([]ChaosStats, ranks)
+		var faults uint64
+		for i, tr := range trs {
+			st, ok := ChaosStatsOf(tr)
+			if !ok {
+				t.Fatal("ChaosStatsOf failed on a chaos-wrapped sim transport")
+			}
+			stats[i] = st
+			faults += st.Delays + st.Retries + st.Dups
+		}
+		return digests, stats, faults
+	}
+	d1, s1, faults := run(123)
+	d2, s2, _ := run(123)
+	for r := 0; r < ranks; r++ {
+		if d1[r] != d2[r] {
+			t.Errorf("rank %d: same seed delivered different bytes", r)
+		}
+		if s1[r] != s2[r] {
+			t.Errorf("rank %d: same seed, different fault schedule: %+v vs %+v", r, s1[r], s2[r])
+		}
+	}
+	if faults == 0 {
+		t.Error("chaos injected no faults over the simulated run")
+	}
+}

@@ -5,7 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parlouvain/internal/wire"
@@ -16,6 +20,19 @@ import (
 // planes to dst, framed as [uint64 length][payload]. Because every rank
 // sends exactly one frame per peer per round, the per-connection FIFO order
 // gives the same per-source round alignment as the in-process transport.
+//
+// Hardening over a bare mesh:
+//
+//   - Mesh setup dials with exponential backoff + jitter and verifies a
+//     (magic, protocol version, rank, size) handshake on every accepted
+//     connection instead of trusting frame order; the acceptor acknowledges,
+//     so a rejected dialer learns immediately.
+//   - Exchange applies per-round read/write deadlines when
+//     TCPConfig.RoundTimeout is set, converting a stalled peer into a
+//     rank-attributed timeout error instead of an indefinite hang.
+//   - Close is idempotent and race-safe (atomic closed state); a rank
+//     parked in Exchange when its own transport closes returns ErrClosed
+//     rather than hanging, and its dropped connections unblock every peer.
 type tcpTransport struct {
 	rank, size int
 	ln         net.Listener
@@ -23,26 +40,62 @@ type tcpTransport struct {
 	outBufs    []*bufio.Writer // matching buffered writers
 	inConns    []net.Conn      // inConns[src], nil for self
 	inBufs     []*bufio.Reader // matching buffered readers
-	closed     bool
+
+	roundTimeout time.Duration
+	rounds       atomic.Uint64
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	connMu    sync.Mutex // guards inConns writes during setup vs Close
 }
+
+// Handshake framing: every dialer opens with a fixed 24-byte hello —
+// magic, protocol version, its rank and the group size — and the acceptor
+// answers one ack byte after validating all four fields. Mismatched
+// versions, sizes or duplicate ranks are detected at setup, not as frame
+// corruption mid-run.
+const (
+	tcpMagic        = 0x504C564D // "PLVM"
+	tcpProtoVersion = 2
+	tcpHelloLen     = 24
+	tcpHelloAck     = 0xA5
+)
 
 // TCPConfig configures a TCP rank group.
 type TCPConfig struct {
 	// Rank and Addrs: this process is rank Rank and Addrs[i] is the
-	// listen address of rank i (host:port).
+	// listen address of rank i (host:port). Addresses must be non-empty
+	// and pairwise distinct.
 	Rank  int
 	Addrs []string
 	// DialTimeout bounds the whole mesh setup (default 30s).
 	DialTimeout time.Duration
+	// RoundTimeout, when positive, bounds each Exchange round's per-peer
+	// reads and writes: a peer that stalls longer than this yields a
+	// rank-attributed timeout error instead of blocking forever. Zero
+	// keeps the pre-hardening lossless-interconnect behaviour (no I/O
+	// deadlines).
+	RoundTimeout time.Duration
 }
 
 // NewTCP creates the transport for one rank of a TCP group. It listens on
-// Addrs[Rank], dials every peer, and returns once the full mesh is
-// established. All ranks of the group must call NewTCP concurrently.
+// Addrs[Rank], dials every peer with backoff, handshakes both directions of
+// the mesh, and returns once the full mesh is established. All ranks of the
+// group must call NewTCP concurrently.
 func NewTCP(cfg TCPConfig) (Transport, error) {
 	size := len(cfg.Addrs)
 	if cfg.Rank < 0 || cfg.Rank >= size {
 		return nil, fmt.Errorf("comm: rank %d out of range for %d addrs", cfg.Rank, size)
+	}
+	seen := make(map[string]int, size)
+	for i, a := range cfg.Addrs {
+		if strings.TrimSpace(a) == "" {
+			return nil, fmt.Errorf("comm: TCPConfig.Addrs[%d] is empty: every rank needs a listen address", i)
+		}
+		if j, dup := seen[a]; dup {
+			return nil, fmt.Errorf("comm: TCPConfig.Addrs[%d] duplicates Addrs[%d] (%q): listen addresses must be pairwise distinct", i, j, a)
+		}
+		seen[a] = i
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 30 * time.Second
@@ -50,12 +103,13 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 	deadline := time.Now().Add(cfg.DialTimeout)
 
 	t := &tcpTransport{
-		rank:     cfg.Rank,
-		size:     size,
-		outConns: make([]net.Conn, size),
-		outBufs:  make([]*bufio.Writer, size),
-		inConns:  make([]net.Conn, size),
-		inBufs:   make([]*bufio.Reader, size),
+		rank:         cfg.Rank,
+		size:         size,
+		outConns:     make([]net.Conn, size),
+		outBufs:      make([]*bufio.Writer, size),
+		inConns:      make([]net.Conn, size),
+		inBufs:       make([]*bufio.Reader, size),
+		roundTimeout: cfg.RoundTimeout,
 	}
 	if size == 1 {
 		return t, nil
@@ -67,7 +121,8 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 	}
 	t.ln = ln
 
-	// Accept incoming connections concurrently with dialing out.
+	// Accept incoming connections concurrently with dialing out. Every
+	// accepted connection must present a valid hello before the deadline.
 	acceptErr := make(chan error, 1)
 	go func() {
 		for n := 0; n < size-1; n++ {
@@ -76,69 +131,149 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 				acceptErr <- err
 				return
 			}
-			var hello [8]byte
-			if _, err := io.ReadFull(conn, hello[:]); err != nil {
-				acceptErr <- fmt.Errorf("comm: bad hello: %w", err)
+			src, err := t.acceptHello(conn, deadline)
+			if err != nil {
+				conn.Close()
+				acceptErr <- err
 				return
 			}
-			src := int(binary.LittleEndian.Uint64(hello[:]))
-			if src < 0 || src >= size || src == cfg.Rank || t.inConns[src] != nil {
-				acceptErr <- fmt.Errorf("comm: invalid hello rank %d", src)
-				return
-			}
+			t.connMu.Lock()
 			t.inConns[src] = conn
+			t.connMu.Unlock()
 			t.inBufs[src] = bufio.NewReaderSize(conn, 1<<16)
 		}
 		acceptErr <- nil
 	}()
 
-	// Dial every peer, retrying until it is listening or the timeout hits.
+	// Dial every peer with exponential backoff + jitter until it is
+	// listening or the setup deadline hits. Jitter decorrelates the
+	// thundering herd of a whole group restarting at once.
+	jitter := rand.New(rand.NewSource(int64(cfg.Rank)*2654435761 + 1))
+	acceptDone := false
 	for dst := 0; dst < size; dst++ {
 		if dst == cfg.Rank {
 			continue
 		}
+		backoff := 5 * time.Millisecond
 		var conn net.Conn
 		for {
 			conn, err = net.DialTimeout("tcp", cfg.Addrs[dst], time.Until(deadline))
 			if err == nil {
 				break
 			}
+			// A failed accept (bad handshake, rogue connection) is
+			// fatal for the whole setup — notice it mid-dial instead
+			// of spinning until the deadline.
+			if !acceptDone {
+				select {
+				case aerr := <-acceptErr:
+					if aerr != nil {
+						t.Close()
+						return nil, aerr
+					}
+					acceptDone = true
+				default:
+				}
+			}
 			if time.Now().After(deadline) {
 				t.Close()
 				return nil, fmt.Errorf("comm: rank %d dial rank %d (%s): %w", cfg.Rank, dst, cfg.Addrs[dst], err)
 			}
-			time.Sleep(10 * time.Millisecond)
+			time.Sleep(backoff + time.Duration(jitter.Int63n(int64(backoff/2)+1)))
+			if backoff < 250*time.Millisecond {
+				backoff *= 2
+			}
 		}
-		var hello [8]byte
-		binary.LittleEndian.PutUint64(hello[:], uint64(cfg.Rank))
-		if _, err := conn.Write(hello[:]); err != nil {
+		if err := t.dialHello(conn, dst, deadline); err != nil {
+			conn.Close()
 			t.Close()
-			return nil, fmt.Errorf("comm: rank %d hello to %d: %w", cfg.Rank, dst, err)
+			return nil, err
 		}
 		t.outConns[dst] = conn
 		t.outBufs[dst] = bufio.NewWriterSize(conn, 1<<16)
 	}
 
-	select {
-	case err := <-acceptErr:
-		if err != nil {
+	if !acceptDone {
+		select {
+		case err := <-acceptErr:
+			if err != nil {
+				t.Close()
+				return nil, err
+			}
+		case <-time.After(time.Until(deadline)):
 			t.Close()
-			return nil, err
+			return nil, fmt.Errorf("comm: rank %d timed out accepting peers", cfg.Rank)
 		}
-	case <-time.After(time.Until(deadline)):
-		t.Close()
-		return nil, fmt.Errorf("comm: rank %d timed out accepting peers", cfg.Rank)
 	}
 	return t, nil
+}
+
+// dialHello sends this rank's handshake on a freshly dialed connection and
+// waits for the acceptor's ack.
+func (t *tcpTransport) dialHello(conn net.Conn, dst int, deadline time.Time) error {
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	var hello [tcpHelloLen]byte
+	binary.LittleEndian.PutUint32(hello[0:], tcpMagic)
+	binary.LittleEndian.PutUint32(hello[4:], tcpProtoVersion)
+	binary.LittleEndian.PutUint64(hello[8:], uint64(t.rank))
+	binary.LittleEndian.PutUint64(hello[16:], uint64(t.size))
+	if _, err := conn.Write(hello[:]); err != nil {
+		return fmt.Errorf("comm: rank %d hello to rank %d: %w", t.rank, dst, err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return fmt.Errorf("comm: rank %d awaiting hello ack from rank %d: %w", t.rank, dst, err)
+	}
+	if ack[0] != tcpHelloAck {
+		return fmt.Errorf("comm: rank %d: rank %d rejected handshake (ack 0x%02x)", t.rank, dst, ack[0])
+	}
+	return nil
+}
+
+// acceptHello validates an inbound handshake and acknowledges it, returning
+// the verified peer rank.
+func (t *tcpTransport) acceptHello(conn net.Conn, deadline time.Time) (int, error) {
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	var hello [tcpHelloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, fmt.Errorf("comm: rank %d reading hello: %w", t.rank, err)
+	}
+	if magic := binary.LittleEndian.Uint32(hello[0:]); magic != tcpMagic {
+		return 0, fmt.Errorf("comm: rank %d: bad hello magic 0x%08x (not a parlouvain peer?)", t.rank, magic)
+	}
+	if v := binary.LittleEndian.Uint32(hello[4:]); v != tcpProtoVersion {
+		return 0, fmt.Errorf("comm: rank %d: peer speaks protocol version %d, want %d", t.rank, v, tcpProtoVersion)
+	}
+	src := int(binary.LittleEndian.Uint64(hello[8:]))
+	peerSize := int(binary.LittleEndian.Uint64(hello[16:]))
+	if peerSize != t.size {
+		return 0, fmt.Errorf("comm: rank %d: peer rank %d configured for %d ranks, this group has %d", t.rank, src, peerSize, t.size)
+	}
+	if src < 0 || src >= t.size || src == t.rank {
+		return 0, fmt.Errorf("comm: rank %d: invalid hello rank %d", t.rank, src)
+	}
+	t.connMu.Lock()
+	dup := t.inConns[src] != nil
+	t.connMu.Unlock()
+	if dup {
+		return 0, fmt.Errorf("comm: rank %d: duplicate hello from rank %d", t.rank, src)
+	}
+	if _, err := conn.Write([]byte{tcpHelloAck}); err != nil {
+		return 0, fmt.Errorf("comm: rank %d acking hello from rank %d: %w", t.rank, src, err)
+	}
+	return src, nil
 }
 
 func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
 
 func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
-	if t.closed {
-		return nil, ErrClosed
+	if t.closed.Load() {
+		return nil, fmt.Errorf("comm: rank %d: %w", t.rank, ErrClosed)
 	}
+	round := t.rounds.Add(1) - 1
 	in := wire.GetPlaneList(t.size)
 	// Self-delivery, copied into a pooled plane.
 	if t.rank < len(out) && len(out[t.rank]) > 0 {
@@ -164,18 +299,21 @@ func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
 			if dst < len(out) {
 				plane = out[dst]
 			}
+			if t.roundTimeout > 0 {
+				t.outConns[dst].SetWriteDeadline(time.Now().Add(t.roundTimeout))
+			}
 			var hdr [8]byte
 			binary.LittleEndian.PutUint64(hdr[:], uint64(len(plane)))
 			if _, err := t.outBufs[dst].Write(hdr[:]); err != nil {
-				errc <- fmt.Errorf("comm: send header to %d: %w", dst, err)
+				errc <- t.roundErr(round, "send header to", dst, err)
 				return
 			}
 			if _, err := t.outBufs[dst].Write(plane); err != nil {
-				errc <- fmt.Errorf("comm: send to %d: %w", dst, err)
+				errc <- t.roundErr(round, "send to", dst, err)
 				return
 			}
 			if err := t.outBufs[dst].Flush(); err != nil {
-				errc <- fmt.Errorf("comm: flush to %d: %w", dst, err)
+				errc <- t.roundErr(round, "flush to", dst, err)
 				return
 			}
 		}
@@ -187,19 +325,22 @@ func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
 			if src == t.rank {
 				continue
 			}
+			if t.roundTimeout > 0 {
+				t.inConns[src].SetReadDeadline(time.Now().Add(t.roundTimeout))
+			}
 			var hdr [8]byte
 			if _, err := io.ReadFull(t.inBufs[src], hdr[:]); err != nil {
-				errc <- fmt.Errorf("comm: recv header from %d: %w", src, err)
+				errc <- t.roundErr(round, "recv header from", src, err)
 				return
 			}
 			n := binary.LittleEndian.Uint64(hdr[:])
 			if n > maxPlane {
-				errc <- fmt.Errorf("comm: implausible plane size %d from %d", n, src)
+				errc <- fmt.Errorf("comm: rank %d round %d: implausible plane size %d from rank %d", t.rank, round, n, src)
 				return
 			}
 			buf := wire.GetPlane(int(n))
 			if _, err := io.ReadFull(t.inBufs[src], buf); err != nil {
-				errc <- fmt.Errorf("comm: recv from %d: %w", src, err)
+				errc <- t.roundErr(round, "recv from", src, err)
 				return
 			}
 			in[src] = buf
@@ -213,30 +354,52 @@ func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
 		}
 	}
 	if firstErr != nil {
+		// A rank whose own transport was closed mid-round sees its
+		// connection reads/writes fail; report that as a graceful
+		// ErrClosed, not connection noise. Any other failure is fatal for
+		// the whole group: tear down our side so peers unblock too.
+		if t.closed.Load() {
+			return nil, fmt.Errorf("comm: rank %d: %w", t.rank, ErrClosed)
+		}
 		t.Close()
 		return nil, firstErr
 	}
 	return in, nil
 }
 
+// roundErr attributes an I/O failure to (this rank, round, peer), marking
+// deadline expiries explicitly so a stalled peer reads as a timeout rather
+// than generic connection noise.
+func (t *tcpTransport) roundErr(round uint64, verb string, peer int, err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() && t.roundTimeout > 0 {
+		return fmt.Errorf("comm: rank %d round %d: %s rank %d timed out after %v: %w",
+			t.rank, round, verb, peer, t.roundTimeout, err)
+	}
+	return fmt.Errorf("comm: rank %d round %d: %s rank %d: %w", t.rank, round, verb, peer, err)
+}
+
+// Rounds returns the number of Exchange rounds entered.
+func (t *tcpTransport) Rounds() uint64 { return t.rounds.Load() }
+
 func (t *tcpTransport) Close() error {
-	if t.closed {
-		return nil
-	}
-	t.closed = true
-	if t.ln != nil {
-		t.ln.Close()
-	}
-	for _, c := range t.outConns {
-		if c != nil {
-			c.Close()
+	t.closeOnce.Do(func() {
+		t.closed.Store(true)
+		if t.ln != nil {
+			t.ln.Close()
 		}
-	}
-	for _, c := range t.inConns {
-		if c != nil {
-			c.Close()
+		for _, c := range t.outConns {
+			if c != nil {
+				c.Close()
+			}
 		}
-	}
+		t.connMu.Lock()
+		for _, c := range t.inConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		t.connMu.Unlock()
+	})
 	return nil
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+)
+
+// End-to-end chaos acceptance: full detections over fault-injected
+// transports either complete bit-identical to the fault-free run (all
+// faults recovered internally) or fail fast with a rank-attributed injected
+// error — and never deadlock.
+
+// runChaos mirrors RunInProcess over chaos-wrapped mem transports, returning
+// rank 0's result and every rank's error.
+func runChaos(el graph.EdgeList, n, ranks int, opt Options, cfgFor func(rank int) comm.ChaosConfig) (*Result, []error) {
+	parts := graph.SplitEdges(el, ranks)
+	inner := comm.NewMemGroup(ranks)
+	trs := make([]comm.Transport, ranks)
+	for r, tr := range inner {
+		trs[r] = comm.NewChaos(tr, cfgFor(r))
+	}
+	results := make([]*Result, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res, err := Parallel(comm.New(trs[r]), parts[r], n, opt)
+			if err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			results[r] = res
+		}(r)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	return results[0], errs
+}
+
+// guard fails the test if fn does not return within d — the "never
+// deadlock" half of the chaos acceptance criteria.
+func guard(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { fn(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not finish within %v", what, d)
+	}
+}
+
+func TestChaosRunBitIdenticalToFaultFree(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(500, 0.3, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{CollectLevels: true}
+	for _, ranks := range []int{2, 4} {
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			golden, err := RunInProcess(el, 500, ranks, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res *Result
+			var errs []error
+			guard(t, 2*time.Minute, "chaos run", func() {
+				res, errs = runChaos(el, 500, ranks, opt, func(rank int) comm.ChaosConfig {
+					return comm.ChaosConfig{
+						Seed:         77,
+						DelayProb:    0.05,
+						MaxDelay:     100 * time.Microsecond,
+						ErrProb:      0.05,
+						ResetProb:    0.02,
+						MaxRetries:   16,
+						RetryBackoff: 10 * time.Microsecond,
+						DupProb:      0.05,
+						SlowRank:     ranks - 1,
+						SlowDelay:    50 * time.Microsecond,
+						SlowEvery:    64,
+					}
+				})
+			})
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d under recoverable chaos: %v", r, err)
+				}
+			}
+			if res.Q != golden.Q {
+				t.Errorf("chaos run Q %v != fault-free Q %v", res.Q, golden.Q)
+			}
+			if len(res.Levels) != len(golden.Levels) {
+				t.Errorf("chaos run produced %d levels, fault-free %d", len(res.Levels), len(golden.Levels))
+			}
+			for v := range golden.Membership {
+				if res.Membership[v] != golden.Membership[v] {
+					t.Errorf("vertex %d: chaos assignment %d != fault-free %d", v, res.Membership[v], golden.Membership[v])
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestChaosRetryExhaustionFailsFast(t *testing.T) {
+	el, _, err := gen.RingOfCliques(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks, doomed = 4, 2
+	var errs []error
+	guard(t, 30*time.Second, "doomed chaos run", func() {
+		_, errs = runChaos(el, 48, ranks, Options{}, func(rank int) comm.ChaosConfig {
+			cfg := comm.ChaosConfig{Seed: 9}
+			if rank == doomed {
+				cfg.ErrProb = 1
+				cfg.MaxRetries = 2
+				cfg.RetryBackoff = 10 * time.Microsecond
+			}
+			return cfg
+		})
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Errorf("rank %d completed a run its group aborted", r)
+		}
+	}
+	if !errors.Is(errs[doomed], comm.ErrInjected) {
+		t.Errorf("doomed rank error = %v, want ErrInjected", errs[doomed])
+	}
+	for _, frag := range []string{fmt.Sprintf("chaos rank %d", doomed), "round"} {
+		if errs[doomed] == nil || !strings.Contains(errs[doomed].Error(), frag) {
+			t.Errorf("doomed rank error %v missing %q", errs[doomed], frag)
+		}
+	}
+	// Every healthy rank must be unblocked by the teardown, not report an
+	// injected fault of its own.
+	for r, err := range errs {
+		if r != doomed && err != nil && errors.Is(err, comm.ErrInjected) {
+			t.Errorf("healthy rank %d reported an injected fault: %v", r, err)
+		}
+	}
+}

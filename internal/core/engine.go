@@ -298,6 +298,12 @@ func (s *engine) run() (*Result, error) {
 		}
 		s.bd.Add(perf.PhaseRefine, time.Since(refineStart))
 
+		if s.checksEnabled() {
+			if err := s.checkLevel(level, vertices, q, qLevelPrev); err != nil {
+				return nil, err
+			}
+		}
+
 		if s.opt.CollectLevels {
 			full, err := s.gatherAssignments()
 			if err != nil {
@@ -310,6 +316,7 @@ func (s *engine) run() (*Result, error) {
 
 		tRecon := time.Now()
 		tsRecon := s.now()
+		mBefore := s.m
 		sw.Start(s.bd, perf.PhaseReconstruction)
 		if err := s.reconstruct(); err != nil {
 			return nil, err
@@ -320,6 +327,11 @@ func (s *engine) run() (*Result, error) {
 		communities, err := s.levelInit()
 		if err != nil {
 			return nil, err
+		}
+		if s.checksEnabled() {
+			if err := s.checkReconstruction(level, mBefore); err != nil {
+				return nil, err
+			}
 		}
 		if s.rec != nil {
 			s.rec.Emit(obs.Event{

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"parlouvain/internal/comm"
+)
+
+// Algorithm-invariant verification. The parallel algorithm maintains a set
+// of algebraic invariants that hold at every level boundary no matter how
+// ranks interleave (the cross-validation style of Lu & Halappanavar and
+// Staudt & Meyerhenke for parallel community-detection variants):
+//
+//  1. Mass conservation — Σ_c Σtot_c == 2m: vertex moves shuffle degree
+//     mass between communities but never create or destroy it, and
+//     Σ_c Σin_c (double-counted intra-community weight) never exceeds 2m.
+//  2. Member conservation — Σ_c |c| equals the level's active vertex
+//     count: the ±1 bookkeeping of update() loses nobody.
+//  3. Agreement — after an all-gather, every rank holds the identical
+//     assignment vector (compared by hash through a min/max reduction).
+//  4. Consistency — the engine's incrementally-maintained modularity
+//     equals a from-scratch recomputation over the current tables.
+//  5. Monotonicity — level-final modularity never decreases across levels
+//     (Section IV-B's convergence claim), within floating-point tolerance.
+//  6. Weight preservation — graph reconstruction (Algorithm 5) preserves
+//     total edge weight: m is identical at every level.
+//
+// Checks run when Options.CheckInvariants is set (the -check flag of
+// cmd/louvain and cmd/louvaind) and in every core test. Each check folds
+// only globally-identical values, so all ranks reach the same verdict and
+// a violation aborts the whole group without desynchronizing collectives.
+
+// ErrInvariant tags invariant-violation failures; unwrap with errors.Is.
+var ErrInvariant = errors.New("core: algorithm invariant violated")
+
+// forceInvariantChecks turns checking on for every engine regardless of
+// Options. Core's TestMain sets it so the whole test suite runs verified.
+var forceInvariantChecks bool
+
+// debugBreakReconstruct deliberately corrupts reconstruction on rank 0 —
+// only ever set by the negative test proving the checker catches it.
+var debugBreakReconstruct bool
+
+// invariantTol is the relative tolerance of the floating-point checks.
+const invariantTol = 1e-6
+
+func (s *engine) checksEnabled() bool {
+	return s.opt.CheckInvariants || forceInvariantChecks
+}
+
+// checkLevel verifies invariants 1–5 at the end of a level: q is the
+// level-final modularity refineLevel settled on, qPrev the previous level's
+// (math.Inf(-1) for the first), vertices the level's active vertex count.
+func (s *engine) checkLevel(level int, vertices uint64, q, qPrev float64) error {
+	twoM := 2 * s.m
+	tol := invariantTol * math.Max(1, twoM)
+
+	// (4) Consistency: recompute Q from the live tables; computeQ also
+	// refreshes inOwn, which invariant (1) folds below.
+	qCheck, err := s.computeQ()
+	if err != nil {
+		return err
+	}
+	if math.Abs(qCheck-q) > invariantTol*math.Max(1, math.Abs(q)) {
+		return fmt.Errorf("%w: rank %d level %d: engine modularity %.12g != recomputed %.12g",
+			ErrInvariant, s.part.Rank, level, q, qCheck)
+	}
+
+	// (1) Mass conservation.
+	var sumTot, sumIn float64
+	for li := 0; li < s.nLoc; li++ {
+		sumTot += s.totOwn[li]
+		sumIn += s.inOwn[li]
+	}
+	if sumTot, err = s.c.AllReduceFloat64(sumTot, comm.OpSum); err != nil {
+		return err
+	}
+	if sumIn, err = s.c.AllReduceFloat64(sumIn, comm.OpSum); err != nil {
+		return err
+	}
+	if math.Abs(sumTot-twoM) > tol {
+		return fmt.Errorf("%w: rank %d level %d: Σ community tot degrees = %.12g, want 2m = %.12g",
+			ErrInvariant, s.part.Rank, level, sumTot, twoM)
+	}
+	if sumIn < -tol || sumIn > twoM+tol {
+		return fmt.Errorf("%w: rank %d level %d: Σ community in degrees = %.12g outside [0, 2m = %.12g]",
+			ErrInvariant, s.part.Rank, level, sumIn, twoM)
+	}
+
+	// (2) Member conservation.
+	var members int64
+	for li := 0; li < s.nLoc; li++ {
+		members += s.memOwn[li]
+	}
+	total, err := s.c.AllReduceFloat64(float64(members), comm.OpSum)
+	if err != nil {
+		return err
+	}
+	if total != float64(vertices) {
+		return fmt.Errorf("%w: rank %d level %d: community member counts sum to %g, want %d active vertices",
+			ErrInvariant, s.part.Rank, level, total, vertices)
+	}
+
+	// (3) Agreement: every rank's gathered assignment vector must hash
+	// identically.
+	full, err := s.gatherAssignments()
+	if err != nil {
+		return err
+	}
+	h := fnv.New64a()
+	var b [4]byte
+	for _, c := range full {
+		binary.LittleEndian.PutUint32(b[:], uint32(c))
+		h.Write(b[:])
+	}
+	digest := h.Sum64()
+	lo, err := s.c.AllReduceUint64(digest, comm.OpMin)
+	if err != nil {
+		return err
+	}
+	hi, err := s.c.AllReduceUint64(digest, comm.OpMax)
+	if err != nil {
+		return err
+	}
+	if lo != hi {
+		return fmt.Errorf("%w: rank %d level %d: assignment vectors disagree across ranks post-AllGather (hash %016x, group range [%016x, %016x])",
+			ErrInvariant, s.part.Rank, level, digest, lo, hi)
+	}
+
+	// (5) Monotonicity across levels. The naive baseline is exempt: without
+	// best-state snapshots a level may legitimately end below its start when
+	// simultaneous moves oscillate (the Figure 4 pathology the heuristic
+	// exists to fix).
+	if !s.opt.Naive && !math.IsInf(qPrev, -1) && q < qPrev-invariantTol {
+		return fmt.Errorf("%w: rank %d level %d: modularity decreased across levels: %.12g -> %.12g",
+			ErrInvariant, s.part.Rank, level, qPrev, q)
+	}
+	return nil
+}
+
+// checkReconstruction verifies invariant 6 right after the next level's
+// levelInit re-derived m from the reconstructed In_Table: Algorithm 5 must
+// preserve the total edge weight exactly (up to reduction rounding).
+func (s *engine) checkReconstruction(level int, mPrev float64) error {
+	if math.Abs(s.m-mPrev) > invariantTol*math.Max(1, mPrev) {
+		return fmt.Errorf("%w: rank %d level %d: reconstruction changed total edge weight: m %.12g -> %.12g",
+			ErrInvariant, s.part.Rank, level, mPrev, s.m)
+	}
+	return nil
+}

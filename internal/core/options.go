@@ -89,6 +89,16 @@ type Options struct {
 	// all-gather per level; leave false for scaling benches.
 	CollectLevels bool
 
+	// CheckInvariants verifies the algorithm's algebraic invariants after
+	// every level (mass/member conservation, cross-rank assignment
+	// agreement, modularity consistency and monotonicity, reconstruction
+	// weight preservation — see internal/core/invariant.go) and aborts
+	// with an ErrInvariant-wrapped error on violation. A few collectives
+	// per level; every rank of a group must set it identically. Exposed
+	// as the -check flag of cmd/louvain and cmd/louvaind, and forced on
+	// in core's tests.
+	CheckInvariants bool
+
 	// Warm seeds the first level with an existing community assignment
 	// (length = vertex count, labels in [0, n)) instead of singletons —
 	// the dynamic-graph mode the paper motivates: after edges change,

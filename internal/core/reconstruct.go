@@ -169,6 +169,12 @@ func (s *engine) reconstruct() error {
 	for t := 0; t < s.opt.Threads; t++ {
 		s.out[t].Reset()
 	}
+	if debugBreakReconstruct && s.part.Rank == 0 {
+		// Negative-test hook: smuggle phantom edge weight into the rebuilt
+		// In_Table so the next level's total weight drifts — the invariant
+		// checker must catch this as a reconstruction violation.
+		s.in[s.shardOf(0)].AddPair(0, 0, 1)
+	}
 	return nil
 }
 

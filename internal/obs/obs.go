@@ -117,6 +117,9 @@ var (
 	LatencyBuckets = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 	// SizeBuckets covers 64B .. 256MiB payloads, in bytes.
 	SizeBuckets = []float64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20}
+	// CountBuckets covers small per-event tallies (retry counts, queue
+	// depths): 1 .. 64 with fine resolution at the low end.
+	CountBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
 )
 
 type metricKind uint8

@@ -154,6 +154,34 @@ func NewTCPTransport(cfg TCPConfig) (Transport, error) { return comm.NewTCP(cfg)
 // NewMemGroup creates an in-process rank group for goroutine ranks.
 func NewMemGroup(size int) []Transport { return comm.NewMemGroup(size) }
 
+// Fault injection, re-exported from internal/comm: wrap any Transport in a
+// seeded chaos layer to exercise a deployment against delays, stragglers,
+// transient faults and duplicate deliveries. See the README "Fault tolerance
+// & verification" section.
+type (
+	// ChaosConfig parameterizes a fault-injection wrapper.
+	ChaosConfig = comm.ChaosConfig
+	// ChaosStats snapshots the faults a wrapper has injected.
+	ChaosStats = comm.ChaosStats
+)
+
+// ErrInjected tags errors produced by exhausting a chaos retry budget.
+var ErrInjected = comm.ErrInjected
+
+// ErrInvariant tags algorithm-invariant violations surfaced by runs with
+// Options.CheckInvariants set; unwrap with errors.Is.
+var ErrInvariant = core.ErrInvariant
+
+// NewChaosTransport wraps inner with a deterministic, seeded fault injector:
+// a run that completes under chaos is bit-identical to the fault-free run,
+// and one whose faults exceed the retry budget fails fast with a rank- and
+// round-attributed error instead of deadlocking.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) Transport { return comm.NewChaos(inner, cfg) }
+
+// ChaosStatsOf extracts the fault snapshot of a transport produced by
+// NewChaosTransport; ok is false for any other transport.
+func ChaosStatsOf(tr Transport) (ChaosStats, bool) { return comm.ChaosStatsOf(tr) }
+
 // LocalAddrs reserves n loopback addresses with free ports for starting a
 // single-machine TCP rank group.
 func LocalAddrs(n int) ([]string, error) { return comm.LocalAddrs(n) }
