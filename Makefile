@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos clean
+.PHONY: all build test race vet fmt check chaos bench-json clean
 
 all: check
 
@@ -17,10 +17,18 @@ vet:
 	$(GO) vet ./...
 
 # Repeated fault-injection runs over the transports plus the invariant and
-# cross-engine suites (what the CI chaos soak step executes).
+# cross-engine suites (what the CI chaos soak step executes). The Stream
+# pattern soaks the chunked streaming path: per-chunk fault injection in
+# comm, streaming-vs-bulk equivalence in core.
 chaos:
-	$(GO) test -race -count=3 -run 'Chaos|TCP' ./internal/comm
-	$(GO) test -short -run 'Chaos|Invariant|CrossEngine' ./internal/core
+	$(GO) test -race -count=3 -run 'Chaos|TCP|Stream' ./internal/comm
+	$(GO) test -short -run 'Chaos|Invariant|CrossEngine|Stream' ./internal/core
+
+# Run the exchange benchmarks and fixed-seed end-to-end solves, writing
+# machine-readable results (micro-bench ns/op and allocs, bulk-vs-stream
+# wall clock, overlap fraction) to BENCH_PR5.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
 # gofmt -l lists nonconforming files; fail if any.
 fmt:

@@ -1,0 +1,270 @@
+// Command benchjson runs the streaming-exchange benchmark suite and writes
+// the results as one machine-readable JSON file (see `make bench-json`,
+// which produces BENCH_PR5.json at the repo root).
+//
+// Two measurement families go into the file:
+//
+//   - the micro-benchmarks BenchmarkExchangeAllocs and BenchmarkStreamOverlap
+//     from internal/core, executed via `go test -bench` and parsed from its
+//     output (ns/op, B/op, allocs/op, plus the custom bytes/round and
+//     overlap-frac metrics);
+//   - fixed-seed end-to-end solves of one LFR graph over the mem and TCP
+//     transports in both exchange modes (bulk vs streaming), with wall
+//     clock, final modularity, traffic volume and the measured overlap
+//     fraction pulled from the metrics registry.
+//
+// The graph seed and every parameter are pinned, so runs on the same host
+// are comparable; absolute times move with hardware, the bulk-vs-stream
+// ratios and the overlap fraction are the stable signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"parlouvain"
+	"parlouvain/internal/obs"
+	"parlouvain/internal/par"
+)
+
+type benchLine struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type e2eRun struct {
+	Transport   string  `json:"transport"`
+	Mode        string  `json:"mode"`
+	Ranks       int     `json:"ranks"`
+	Threads     int     `json:"threads"`
+	Seconds     float64 `json:"seconds"`
+	Q           float64 `json:"q"`
+	Levels      int     `json:"levels"`
+	BytesSent   uint64  `json:"bytes_sent"`
+	Rounds      uint64  `json:"rounds"`
+	OverlapFrac float64 `json:"overlap_frac,omitempty"`
+}
+
+type report struct {
+	GoVersion  string      `json:"go_version"`
+	Graph      string      `json:"graph"`
+	Benchmarks []benchLine `json:"benchmarks"`
+	E2E        []e2eRun    `json:"e2e"`
+	// Summary ratios derived from the e2e table: stream seconds / bulk
+	// seconds per transport (lower is better).
+	StreamSpeedup map[string]float64 `json:"stream_vs_bulk_time_ratio"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out       = flag.String("out", "BENCH_PR5.json", "output JSON path")
+		benchTime = flag.String("benchtime", "200x", "-benchtime passed to go test")
+		n         = flag.Int("n", 20000, "e2e LFR graph size")
+		mu        = flag.Float64("mu", 0.3, "e2e LFR mixing parameter")
+		seed      = flag.Uint64("seed", 11, "e2e LFR seed")
+		ranks     = flag.Int("ranks", 2, "e2e rank count")
+		threads   = flag.Int("threads", 2, "e2e threads per rank")
+		skipBench = flag.Bool("skip-bench", false, "skip the go test -bench pass (e2e only)")
+	)
+	flag.Parse()
+
+	rep := report{
+		GoVersion:     strings.TrimSpace(goVersion()),
+		Graph:         fmt.Sprintf("LFR n=%d mu=%.2f seed=%d", *n, *mu, *seed),
+		StreamSpeedup: map[string]float64{},
+	}
+
+	if !*skipBench {
+		lines, err := runGoBench(*benchTime)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Benchmarks = lines
+	}
+
+	el, _, err := parlouvain.LFR(parlouvain.DefaultLFR(*n, *mu, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, transport := range []string{"mem", "tcp"} {
+		var bulk, stream e2eRun
+		for _, mode := range []string{"bulk", "stream"} {
+			run, err := runE2E(el, *n, *ranks, *threads, transport, mode)
+			if err != nil {
+				log.Fatalf("e2e %s/%s: %v", transport, mode, err)
+			}
+			log.Printf("e2e %s/%-6s  %.3fs  Q=%.6f  overlap=%.3f", transport, mode, run.Seconds, run.Q, run.OverlapFrac)
+			rep.E2E = append(rep.E2E, run)
+			if mode == "bulk" {
+				bulk = run
+			} else {
+				stream = run
+			}
+		}
+		if bulk.Q != stream.Q {
+			log.Fatalf("%s: bulk and streaming results diverged: Q %v vs %v", transport, bulk.Q, stream.Q)
+		}
+		if bulk.Seconds > 0 {
+			rep.StreamSpeedup[transport] = stream.Seconds / bulk.Seconds
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return string(out)
+}
+
+// runGoBench executes the exchange benchmarks and parses the standard
+// benchmark output format: name, iteration count, then (value, unit) pairs.
+func runGoBench(benchTime string) ([]benchLine, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "BenchmarkExchangeAllocs|BenchmarkStreamOverlap",
+		"-benchmem", "-benchtime", benchTime, "./internal/core")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	var lines []benchLine
+	for _, ln := range strings.Split(string(out), "\n") {
+		if !strings.HasPrefix(ln, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(ln)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bl := benchLine{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				bl.NsPerOp = v
+			} else {
+				bl.Metrics[fields[i+1]] = v
+			}
+		}
+		lines = append(lines, bl)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed")
+	}
+	return lines, nil
+}
+
+// runE2E solves the graph once over the requested transport and exchange
+// mode, pulling traffic and overlap measurements from per-rank registries.
+func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode string) (e2eRun, error) {
+	streamChunk := 0 // default chunk size = streaming on
+	if mode == "bulk" {
+		streamChunk = -1
+	}
+	regs := make([]*parlouvain.MetricsRegistry, ranks)
+	for r := range regs {
+		regs[r] = parlouvain.NewMetricsRegistry()
+	}
+	results := make([]*parlouvain.Result, ranks)
+	parts := parlouvain.SplitEdges(el, ranks)
+
+	start := time.Now()
+	var g par.Group
+	switch transport {
+	case "mem":
+		trs := parlouvain.NewMemGroup(ranks)
+		// Close only after every rank returns: the in-process transports
+		// share one hub, so an early Close would fail the peers' rounds.
+		defer func() {
+			for _, tr := range trs {
+				tr.Close()
+			}
+		}()
+		for r := 0; r < ranks; r++ {
+			r := r
+			g.Go(func() error {
+				res, err := parlouvain.DetectDistributed(trs[r], parts[r], n, parlouvain.Options{
+					Threads: threads, StreamChunk: streamChunk, Metrics: regs[r],
+				})
+				results[r] = res
+				return err
+			})
+		}
+	case "tcp":
+		addrs, err := parlouvain.LocalAddrs(ranks)
+		if err != nil {
+			return e2eRun{}, err
+		}
+		for r := 0; r < ranks; r++ {
+			r := r
+			g.Go(func() error {
+				tr, err := parlouvain.NewTCPTransport(parlouvain.TCPConfig{Rank: r, Addrs: addrs})
+				if err != nil {
+					return err
+				}
+				defer tr.Close()
+				res, err := parlouvain.DetectDistributed(tr, parts[r], n, parlouvain.Options{
+					Threads: threads, StreamChunk: streamChunk, Metrics: regs[r],
+				})
+				results[r] = res
+				return err
+			})
+		}
+	default:
+		return e2eRun{}, fmt.Errorf("unknown transport %q", transport)
+	}
+	if err := g.Wait(); err != nil {
+		return e2eRun{}, err
+	}
+	elapsed := time.Since(start)
+
+	run := e2eRun{
+		Transport: transport,
+		Mode:      mode,
+		Ranks:     ranks,
+		Threads:   threads,
+		Seconds:   elapsed.Seconds(),
+		Q:         results[0].Q,
+		Levels:    len(results[0].Levels),
+	}
+	var overlap, transfer float64
+	for _, reg := range regs {
+		run.BytesSent += reg.Counter("comm_bytes_sent_total").Value()
+		run.Rounds += reg.Counter("comm_rounds_total").Value()
+		overlap += reg.Histogram("comm_overlap_seconds", obs.LatencyBuckets).Snapshot().Sum
+		transfer += reg.Histogram("comm_stream_transfer_seconds", obs.LatencyBuckets).Snapshot().Sum
+	}
+	if transfer > 0 {
+		run.OverlapFrac = overlap / transfer
+	}
+	return run, nil
+}

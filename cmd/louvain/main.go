@@ -45,6 +45,7 @@ func main() {
 		refine    = flag.Bool("refine", false, "split internally disconnected communities afterwards (Leiden-style post-pass)")
 		check     = flag.Bool("check", false, "verify algorithm invariants after every level (mass conservation, rank agreement, Q monotonicity; parallel engine)")
 		traceF    = flag.String("trace", "", "write per-iteration telemetry events to this file as JSONL (parallel engine)")
+		streamSz  = flag.Int("stream-chunk", 65536, "streaming-exchange chunk size in bytes for the heavy phases; 0 disables streaming (bulk rounds)")
 		chromeF   = flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
@@ -72,6 +73,7 @@ func main() {
 		MaxInner:        *maxInner,
 		CollectLevels:   true,
 		CheckInvariants: *check,
+		StreamChunk:     streamChunkOption(*streamSz),
 	}
 	var rec *parlouvain.Recorder
 	if *traceF != "" || *chromeF != "" {
@@ -174,4 +176,14 @@ func main() {
 			fmt.Printf("chrome trace written to %s\n", *chromeF)
 		}
 	}
+}
+
+// streamChunkOption maps the -stream-chunk flag to Options.StreamChunk:
+// 0 on the command line means "bulk mode", which the library encodes as a
+// negative value (its own zero selects the default chunk size).
+func streamChunkOption(flagVal int) int {
+	if flagVal <= 0 {
+		return -1
+	}
+	return flagVal
 }

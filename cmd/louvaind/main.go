@@ -49,6 +49,7 @@ func main() {
 		traceF    = flag.String("trace", "", "write this rank's telemetry events to this file as JSONL")
 		chromeF   = flag.String("chrome-trace", "", "write this rank's Chrome trace_event JSON timeline to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. :9090)")
+		streamSz  = flag.Int("stream-chunk", 65536, "streaming-exchange chunk size in bytes for the heavy phases; 0 disables streaming (bulk rounds); must match across ranks")
 	)
 	flag.Parse()
 	addrList := strings.Split(*addrs, ",")
@@ -131,6 +132,7 @@ func main() {
 		Naive:           *naive,
 		CollectLevels:   true,
 		CheckInvariants: *check,
+		StreamChunk:     streamChunkOption(*streamSz),
 		Recorder:        rec,
 		Metrics:         reg,
 	})
@@ -158,4 +160,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// streamChunkOption maps the -stream-chunk flag to Options.StreamChunk:
+// 0 on the command line means "bulk mode", which the library encodes as a
+// negative value (its own zero selects the default chunk size).
+func streamChunkOption(flagVal int) int {
+	if flagVal <= 0 {
+		return -1
+	}
+	return flagVal
 }

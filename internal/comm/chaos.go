@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -88,7 +89,9 @@ type chaosTransport struct {
 	cfg   ChaosConfig
 	rank  int
 
-	rng       chaosRNG
+	rngMu     sync.Mutex
+	rng       chaosRNG // sequential schedule for the one-per-round fault sites
+	seed0     uint64   // base state for the per-chunk keyed streams
 	round     uint64
 	slowEvery uint64
 	maxDelay  time.Duration
@@ -130,7 +133,8 @@ func NewChaos(inner Transport, cfg ChaosConfig) Transport {
 	}
 	// Mix the rank into the seed so ranks draw independent streams, and a
 	// zero seed still injects a nontrivial schedule.
-	t.rng.state = cfg.Seed ^ (uint64(t.rank)+1)*0x9E3779B97F4A7C15
+	t.seed0 = cfg.Seed ^ (uint64(t.rank)+1)*0x9E3779B97F4A7C15
+	t.rng.state = t.seed0
 	if reg := cfg.Metrics; reg != nil {
 		t.cDelays = reg.Counter("chaos_delays_total")
 		t.cRetries = reg.Counter("chaos_retries_total")
@@ -188,6 +192,106 @@ func (t *chaosTransport) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
+// randFloat and randUint serialize draws from the sequential splitmix64
+// stream. This stream serves the fault sites that execute exactly once per
+// round on the rank's own goroutine (round-start delays, bulk Exchange
+// faults), so a fixed seed yields a fixed schedule.
+func (t *chaosTransport) randFloat() float64 {
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.rng.float()
+}
+
+func (t *chaosTransport) randUint() uint64 {
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.rng.next()
+}
+
+// keyedRNG derives an independent splitmix64 stream for one streamed chunk.
+// Stream rounds draw faults from many goroutines concurrently (builder
+// threads sending, the pump receiving), so a shared sequential stream would
+// make the schedule depend on goroutine interleaving; keying each chunk's
+// draws by (site, round, peer, payload) keeps the whole round's fault
+// multiset a pure function of the seed.
+func (t *chaosTransport) keyedRNG(site, round uint64, peer int, payload []byte) chaosRNG {
+	// FNV-1a over the payload, then fold in the coordinates.
+	h := uint64(14695981039346656037)
+	for _, b := range payload {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	rng := chaosRNG{state: t.seed0 ^ h ^ site*0x9E3779B97F4A7C15 ^ round*0xBF58476D1CE4E5B9 ^ (uint64(peer)+1)*0x94D049BB133111EB}
+	rng.next() // scramble away any key structure
+	return rng
+}
+
+// injectRoundStart applies the per-round timing faults: the designated
+// straggler's stall and the random delay.
+func (t *chaosTransport) injectRoundStart(round uint64) {
+	if t.cfg.SlowDelay > 0 && t.cfg.SlowRank == t.rank && round%t.slowEvery == 0 {
+		t.sleep(t.cfg.SlowDelay)
+	}
+	if t.cfg.DelayProb > 0 && t.randFloat() < t.cfg.DelayProb {
+		t.sleep(time.Duration(1 + t.randUint()%uint64(t.maxDelay)))
+	}
+}
+
+// injectSendFaults draws the transient-fault schedule for one send attempt
+// (a bulk round, or a single streamed chunk), retrying with jittered
+// exponential backoff. Exhausting the budget tears the group down and
+// returns an ErrInjected-tagged failure. rng selects the draw source: nil
+// uses the transport's sequential stream (bulk rounds), non-nil a caller-
+// derived keyed stream (concurrent per-chunk faults).
+func (t *chaosTransport) injectSendFaults(rng *chaosRNG, round uint64) error {
+	p := t.cfg.ErrProb + t.cfg.ResetProb
+	if p <= 0 {
+		return nil
+	}
+	drawFloat, drawUint := t.randFloat, t.randUint
+	if rng != nil {
+		drawFloat, drawUint = rng.float, rng.next
+	}
+	backoff := t.backoff0
+	attempts := 0
+	for {
+		draw := drawFloat()
+		if draw >= p {
+			break
+		}
+		attempts++
+		if draw < t.cfg.ResetProb {
+			t.nResets.Add(1)
+			if t.cResets != nil {
+				t.cResets.Inc()
+			}
+		}
+		if attempts > t.retries {
+			t.nFailures.Add(1)
+			if t.cFailures != nil {
+				t.cFailures.Inc()
+			}
+			// Tear the group down so no peer stays parked in a
+			// round this rank will never complete.
+			t.Close()
+			return fmt.Errorf("comm: chaos rank %d round %d: %d faulted attempts exceeded retry budget %d: %w",
+				t.rank, round, attempts, t.retries, ErrInjected)
+		}
+		t.nRetries.Add(1)
+		if t.cRetries != nil {
+			t.cRetries.Inc()
+		}
+		jitter := time.Duration(drawUint() % uint64(backoff/2+1))
+		time.Sleep(backoff + jitter)
+		if backoff < 8*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	if t.hRetries != nil && attempts > 0 {
+		t.hRetries.Observe(float64(attempts))
+	}
+	return nil
+}
+
 func (t *chaosTransport) Exchange(out [][]byte) ([][]byte, error) {
 	if t.closed.Load() {
 		return nil, fmt.Errorf("comm: chaos rank %d: %w", t.rank, ErrClosed)
@@ -196,56 +300,12 @@ func (t *chaosTransport) Exchange(out [][]byte) ([][]byte, error) {
 	t.round++
 	t.nRounds.Add(1)
 
-	// Straggler: the designated slow rank stalls before joining the round.
-	if t.cfg.SlowDelay > 0 && t.cfg.SlowRank == t.rank && round%t.slowEvery == 0 {
-		t.sleep(t.cfg.SlowDelay)
-	}
-	// Random per-round delay.
-	if t.cfg.DelayProb > 0 && t.rng.float() < t.cfg.DelayProb {
-		t.sleep(time.Duration(1 + t.rng.next()%uint64(t.maxDelay)))
-	}
+	t.injectRoundStart(round)
 	// Transient faults on the send attempt, retried with jittered
 	// exponential backoff. The inner exchange is only entered once the
 	// attempt survives, so delivery stays exactly-once.
-	if p := t.cfg.ErrProb + t.cfg.ResetProb; p > 0 {
-		backoff := t.backoff0
-		attempts := 0
-		for {
-			draw := t.rng.float()
-			if draw >= p {
-				break
-			}
-			attempts++
-			if draw < t.cfg.ResetProb {
-				t.nResets.Add(1)
-				if t.cResets != nil {
-					t.cResets.Inc()
-				}
-			}
-			if attempts > t.retries {
-				t.nFailures.Add(1)
-				if t.cFailures != nil {
-					t.cFailures.Inc()
-				}
-				// Tear the group down so no peer stays parked in a
-				// round this rank will never complete.
-				t.Close()
-				return nil, fmt.Errorf("comm: chaos rank %d round %d: %d faulted attempts exceeded retry budget %d: %w",
-					t.rank, round, attempts, t.retries, ErrInjected)
-			}
-			t.nRetries.Add(1)
-			if t.cRetries != nil {
-				t.cRetries.Inc()
-			}
-			jitter := time.Duration(t.rng.next() % uint64(backoff/2+1))
-			time.Sleep(backoff + jitter)
-			if backoff < 8*time.Millisecond {
-				backoff *= 2
-			}
-		}
-		if t.hRetries != nil && attempts > 0 {
-			t.hRetries.Observe(float64(attempts))
-		}
+	if err := t.injectSendFaults(nil, round); err != nil {
+		return nil, err
 	}
 
 	in, err := t.inner.Exchange(out)
@@ -259,7 +319,7 @@ func (t *chaosTransport) Exchange(out [][]byte) ([][]byte, error) {
 	// Duplicate delivery attempt: materialize the round a second time and
 	// discard the copy, verifying it matches — the at-least-once path a
 	// real redelivery would hit.
-	if t.cfg.DupProb > 0 && t.rng.float() < t.cfg.DupProb {
+	if t.cfg.DupProb > 0 && t.randFloat() < t.cfg.DupProb {
 		t.nDups.Add(1)
 		if t.cDups != nil {
 			t.cDups.Inc()
@@ -277,6 +337,128 @@ func (t *chaosTransport) Exchange(out [][]byte) ([][]byte, error) {
 		}
 	}
 	return in, nil
+}
+
+// OpenStream implements Streamer by wrapping the inner transport's stream
+// with per-chunk fault injection: every Send draws its own delay and
+// transient-fault schedule (retry budget per chunk, fail-fast with mesh
+// teardown on exhaustion), and the receive pump injects duplicate delivery
+// attempts per chunk. Successful delivery never alters the bytes, so
+// completed streamed rounds stay bit-identical to fault-free ones.
+func (t *chaosTransport) OpenStream() (Stream, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("comm: chaos rank %d: %w", t.rank, ErrClosed)
+	}
+	str, ok := t.inner.(Streamer)
+	if !ok {
+		// Degrade to the generic bulk adapter over this chaos transport, so
+		// the faults still apply to the fallback's one Exchange.
+		return nil, ErrStreamUnsupported
+	}
+	round := t.round
+	t.round++
+	t.nRounds.Add(1)
+	t.injectRoundStart(round)
+	inner, err := str.OpenStream()
+	if err != nil {
+		if errors.Is(err, ErrStreamUnsupported) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("comm: chaos rank %d round %d: %w", t.rank, round, err)
+	}
+	cs := &chaosStream{t: t, inner: inner, round: round, ch: make(chan Chunk, 8)}
+	go cs.pump()
+	return cs, nil
+}
+
+type chaosStream struct {
+	t     *chaosTransport
+	inner Stream
+	round uint64
+	ch    chan Chunk
+
+	mu  sync.Mutex
+	err error
+}
+
+func (cs *chaosStream) Send(dst int, chunk []byte) error {
+	t := cs.t
+	if t.closed.Load() {
+		return fmt.Errorf("comm: chaos rank %d: %w", t.rank, ErrClosed)
+	}
+	// Per-chunk faults: streamed rounds expose many more injection points
+	// than one bulk Exchange, which is exactly the coverage wanted. Draws
+	// come from a keyed stream so the schedule is seed-deterministic even
+	// though builder threads send concurrently.
+	rng := t.keyedRNG(1, cs.round, dst, chunk)
+	if t.cfg.DelayProb > 0 && rng.float() < t.cfg.DelayProb {
+		t.sleep(time.Duration(1 + rng.next()%uint64(t.maxDelay)))
+	}
+	if err := t.injectSendFaults(&rng, cs.round); err != nil {
+		cs.fail(err)
+		return err
+	}
+	if err := cs.inner.Send(dst, chunk); err != nil {
+		return fmt.Errorf("comm: chaos rank %d round %d: %w", t.rank, cs.round, err)
+	}
+	return nil
+}
+
+func (cs *chaosStream) pump() {
+	t := cs.t
+	for ck := range cs.inner.Recv() {
+		// Duplicate delivery attempt per chunk: materialize a copy, verify
+		// it matches, discard it. Keyed draw — see Send.
+		rng := t.keyedRNG(2, cs.round, ck.Src, ck.Data)
+		if t.cfg.DupProb > 0 && rng.float() < t.cfg.DupProb {
+			t.nDups.Add(1)
+			if t.cDups != nil {
+				t.cDups.Inc()
+			}
+			dup := wire.GetPlane(len(ck.Data))
+			copy(dup, ck.Data)
+			same := bytes.Equal(dup, ck.Data)
+			wire.PutPlane(dup)
+			if !same {
+				cs.fail(fmt.Errorf("comm: chaos rank %d round %d: duplicate chunk delivery from rank %d diverged: %w",
+					t.rank, cs.round, ck.Src, ErrInjected))
+				t.Close()
+				wire.PutPlane(ck.Data)
+				continue // keep draining so the inner stream can finish
+			}
+		}
+		cs.ch <- ck
+	}
+	close(cs.ch)
+}
+
+func (cs *chaosStream) CloseSend() error {
+	if err := cs.inner.CloseSend(); err != nil {
+		return fmt.Errorf("comm: chaos rank %d round %d: %w", cs.t.rank, cs.round, err)
+	}
+	return nil
+}
+
+func (cs *chaosStream) Recv() <-chan Chunk { return cs.ch }
+
+func (cs *chaosStream) Err() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.err != nil {
+		return cs.err
+	}
+	if err := cs.inner.Err(); err != nil {
+		return fmt.Errorf("comm: chaos rank %d round %d: %w", cs.t.rank, cs.round, err)
+	}
+	return nil
+}
+
+func (cs *chaosStream) fail(err error) {
+	cs.mu.Lock()
+	if cs.err == nil {
+		cs.err = err
+	}
+	cs.mu.Unlock()
 }
 
 // chaosSimTransport augments the wrapper with the simulated-clock surface of

@@ -1,0 +1,245 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parlouvain/internal/wire"
+)
+
+// Collator turns a stream round's arbitrary chunk arrival order back into
+// the deterministic merge order the engine needs. A pump goroutine drains
+// Stream.Recv as fast as chunks arrive (so bounded transport buffering can
+// never stall the group), validates each chunk's header, and files its
+// payload under (source rank, producer thread). Merge workers then walk
+// the canonical order — source ascending, thread ascending, chunk seq
+// ascending — via Next, blocking only when the next chunk in that order
+// has not arrived yet. Replayed in this order, the payloads concatenate to
+// exactly the bytes a bulk round would have delivered, which is what keeps
+// streamed runs bit-identical to bulk ones.
+//
+// A Collator is engine-owned and reused across rounds: Begin arms it on a
+// fresh Stream, Finish (after the workers join) releases every pooled
+// chunk and reports the round's first error.
+type Collator struct {
+	c *Comm
+
+	mu   sync.Mutex
+	cond sync.Cond
+
+	srcs   []collSrc
+	chunks [][]byte // every delivered chunk, for release in Finish
+	closed bool
+	err    error
+
+	inflight atomic.Bool
+	began    time.Time
+}
+
+type collSrc struct {
+	nthreads int // announced by the source's first chunk; 0 = none seen yet
+	threads  []collThread
+}
+
+type collThread struct {
+	payloads [][]byte
+	arrivals []int64 // ns since Begin, recorded only when instrumented
+	fin      bool
+}
+
+// Cursor tracks one merge worker's position in the canonical chunk order.
+// The zero value (or Collator.Cursor) starts at the beginning; workers
+// share the Collator but each owns its Cursor.
+type Cursor struct {
+	src, thread, idx int
+	observe          bool
+}
+
+// NewCollator returns a reusable collator over this Comm's streams.
+func (c *Comm) NewCollator() *Collator {
+	cl := &Collator{c: c}
+	cl.cond.L = &cl.mu
+	return cl
+}
+
+// Cursor returns a fresh cursor for one merge worker. At most one worker
+// per round should pass observe=true: it feeds the per-chunk wait-latency
+// histogram without multiplying observations by the worker count.
+func (cl *Collator) Cursor(observe bool) Cursor { return Cursor{observe: observe} }
+
+// Begin arms the collator on st and starts the pump. Must be balanced by
+// Finish; rounds on one collator are strictly sequential.
+func (cl *Collator) Begin(st Stream) {
+	size := cl.c.Size()
+	if cap(cl.srcs) < size {
+		cl.srcs = make([]collSrc, size)
+	}
+	cl.srcs = cl.srcs[:size]
+	for i := range cl.srcs {
+		s := &cl.srcs[i]
+		s.nthreads = 0
+		for t := range s.threads {
+			th := &s.threads[t]
+			th.payloads = th.payloads[:0]
+			th.arrivals = th.arrivals[:0]
+			th.fin = false
+		}
+	}
+	cl.chunks = cl.chunks[:0]
+	cl.closed = false
+	cl.err = nil
+	cl.began = time.Now()
+	cl.inflight.Store(true)
+	go cl.pump(st)
+}
+
+// TransferInFlight reports whether the round's transfer is still running —
+// true from Begin until the stream's Recv channel closes. Merge workers
+// read it to attribute their compute time as overlap.
+func (cl *Collator) TransferInFlight() bool { return cl.inflight.Load() }
+
+func (cl *Collator) pump(st Stream) {
+	var recvd uint64
+	for ck := range st.Recv() {
+		recvd += uint64(len(ck.Data))
+		hdr, payload, perr := wire.ParseChunk(ck.Data)
+		cl.mu.Lock()
+		if perr != nil {
+			if cl.err == nil {
+				cl.err = fmt.Errorf("comm: chunk from rank %d: %w", ck.Src, perr)
+			}
+		} else if cl.err == nil {
+			if aerr := cl.addLocked(ck.Src, hdr, payload); aerr != nil {
+				cl.err = aerr
+			}
+		}
+		cl.chunks = append(cl.chunks, ck.Data)
+		cl.cond.Broadcast()
+		cl.mu.Unlock()
+	}
+	cl.c.bytesReceived.Add(recvd)
+	if cl.c.recvC != nil {
+		cl.c.recvC.Add(recvd)
+	}
+	if cl.c.transferH != nil {
+		cl.c.transferH.Observe(time.Since(cl.began).Seconds())
+	}
+	cl.mu.Lock()
+	cl.closed = true
+	if cl.err == nil {
+		if serr := st.Err(); serr != nil {
+			cl.err = serr
+		}
+	}
+	cl.inflight.Store(false)
+	cl.cond.Broadcast()
+	cl.mu.Unlock()
+}
+
+func (cl *Collator) addLocked(src int, hdr wire.ChunkHeader, payload []byte) error {
+	if src < 0 || src >= len(cl.srcs) {
+		return fmt.Errorf("comm: chunk from out-of-range rank %d", src)
+	}
+	s := &cl.srcs[src]
+	if s.nthreads == 0 {
+		s.nthreads = hdr.Threads
+		for len(s.threads) < hdr.Threads {
+			s.threads = append(s.threads, collThread{})
+		}
+	} else if s.nthreads != hdr.Threads {
+		return fmt.Errorf("comm: rank %d changed thread count mid-round: %d then %d", src, s.nthreads, hdr.Threads)
+	}
+	th := &s.threads[hdr.Thread]
+	if th.fin {
+		return fmt.Errorf("comm: rank %d thread %d sent a chunk after its fin", src, hdr.Thread)
+	}
+	if hdr.Seq != uint32(len(th.payloads)) {
+		return fmt.Errorf("comm: rank %d thread %d chunk out of order: seq %d, want %d", src, hdr.Thread, hdr.Seq, len(th.payloads))
+	}
+	th.payloads = append(th.payloads, payload)
+	if cl.c.chunkWaitH != nil {
+		th.arrivals = append(th.arrivals, int64(time.Since(cl.began)))
+	}
+	if hdr.Fin {
+		th.fin = true
+	}
+	return nil
+}
+
+// Next returns the next payload in canonical order, blocking until it
+// arrives. ok=false with a nil error means the round completed and the
+// cursor consumed everything; an error means the round failed (transport
+// error, malformed or missing chunks) — every waiting worker gets it.
+func (cl *Collator) Next(cur *Cursor) (payload []byte, ok bool, err error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for {
+		if cur.src >= len(cl.srcs) {
+			return nil, false, nil
+		}
+		s := &cl.srcs[cur.src]
+		if s.nthreads > 0 {
+			if cur.thread >= s.nthreads {
+				cur.src++
+				cur.thread, cur.idx = 0, 0
+				continue
+			}
+			th := &s.threads[cur.thread]
+			if cur.idx < len(th.payloads) {
+				p := th.payloads[cur.idx]
+				if cur.observe && cl.c.chunkWaitH != nil && cur.idx < len(th.arrivals) {
+					wait := time.Duration(int64(time.Since(cl.began)) - th.arrivals[cur.idx])
+					cl.c.chunkWaitH.Observe(wait.Seconds())
+				}
+				cur.idx++
+				return p, true, nil
+			}
+			if th.fin {
+				cur.thread++
+				cur.idx = 0
+				continue
+			}
+		}
+		if cl.err != nil {
+			return nil, false, cl.err
+		}
+		if cl.closed {
+			// Latch the truncation so Finish (and every other worker)
+			// reports the round as failed too.
+			cl.err = fmt.Errorf("comm: stream truncated: incomplete round from rank %d", cur.src)
+			cl.cond.Broadcast()
+			return nil, false, cl.err
+		}
+		cl.cond.Wait()
+	}
+}
+
+// Finish waits for the pump to drain, releases every delivered chunk back
+// to the plane pool, and returns the round's first error. Call it only
+// after all merge workers have stopped calling Next.
+func (cl *Collator) Finish() error {
+	// The pump exits when Recv closes; every transport closes Recv once the
+	// round completes or the transport is torn down, so this terminates
+	// under the same conditions a bulk Exchange would.
+	cl.mu.Lock()
+	for !cl.closed {
+		cl.cond.Wait()
+	}
+	for _, ck := range cl.chunks {
+		wire.PutPlane(ck)
+	}
+	cl.chunks = cl.chunks[:0]
+	for i := range cl.srcs {
+		s := &cl.srcs[i]
+		for t := range s.threads {
+			// Payload views alias the released chunks; drop them.
+			s.threads[t].payloads = s.threads[t].payloads[:0]
+			s.threads[t].arrivals = s.threads[t].arrivals[:0]
+		}
+	}
+	err := cl.err
+	cl.mu.Unlock()
+	return err
+}

@@ -1,0 +1,229 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parlouvain/internal/wire"
+)
+
+// Streaming exchange: the fine-grained counterpart of Exchange. Where
+// Exchange is one barrier — serialize everything, transfer everything,
+// then decode — a Stream round lets the three run concurrently: senders
+// push fixed-size chunks as they are produced, and receivers drain them
+// as they arrive, so transfer latency hides behind build and merge
+// compute. One Stream round replaces one Exchange round in the global
+// collective order: every rank of the group must open a stream in the
+// same position of its collective sequence, send its chunks, CloseSend,
+// and drain Recv to completion before the next collective.
+//
+// Chunks carry the wire chunk framing (wire.ParseChunk); the Collator
+// turns the arbitrary arrival interleaving back into the deterministic
+// (source, thread, seq) order the engine's bit-identical guarantee needs.
+
+// Chunk is one streamed fragment. Data is drawn from the wire plane pool
+// and owned by the receiver: release it with wire.PutPlane once consumed
+// (the Collator does this for engine rounds).
+type Chunk struct {
+	Src  int
+	Data []byte
+}
+
+// Stream is one rank's handle on a streaming round.
+//
+// Send copies the chunk before returning, so callers may reuse their
+// buffer immediately; it is safe for concurrent callers (per-destination
+// ordering follows the happens-before order of the Send calls). CloseSend
+// flushes the end-of-round marker to every peer; no Send may follow it.
+// Recv yields incoming chunks from all sources, itself included, and is
+// closed once every source's round is complete — receivers must drain it
+// concurrently with sending, or the transport's bounded buffering can
+// stall the group. Err reports the first transport failure after Recv
+// closes early.
+type Stream interface {
+	Send(dst int, chunk []byte) error
+	CloseSend() error
+	Recv() <-chan Chunk
+	Err() error
+}
+
+// Streamer is the optional transport capability behind Comm.OpenStream.
+// A transport that cannot stream in its current configuration may return
+// ErrStreamUnsupported to select the generic bulk fallback.
+type Streamer interface {
+	OpenStream() (Stream, error)
+}
+
+// ErrStreamUnsupported marks a transport without native streaming;
+// Comm.OpenStream degrades to one bulk Exchange behind the same surface.
+var ErrStreamUnsupported = errors.New("comm: transport does not support streaming")
+
+// OpenStream starts one streaming round. Transports that implement
+// Streamer get their native chunk path (mem, TCP, sim — and chaos when
+// its inner transport streams); any other transport is adapted by a
+// fallback that buffers chunks and ships them in a single bulk Exchange,
+// so callers never need two code paths. The round is counted like an
+// Exchange round and chunk traffic feeds the same byte counters.
+func (c *Comm) OpenStream() (Stream, error) {
+	var inner Stream
+	if s, ok := c.tr.(Streamer); ok {
+		st, err := s.OpenStream()
+		switch {
+		case err == nil:
+			inner = st
+		case errors.Is(err, ErrStreamUnsupported):
+			// fall through to the bulk adapter
+		default:
+			return nil, err
+		}
+	}
+	if inner == nil {
+		inner = newFallbackStream(c.tr)
+	}
+	c.rounds.Add(1)
+	if c.roundsC != nil {
+		c.roundsC.Inc()
+	}
+	return &commStream{c: c, inner: inner}, nil
+}
+
+// ObserveOverlap records time a receiver spent merging chunks while the
+// round's transfer was still in flight — the comm_overlap_seconds series
+// that makes the streaming win measurable.
+func (c *Comm) ObserveOverlap(d time.Duration) {
+	if c.overlapH != nil {
+		c.overlapH.Observe(d.Seconds())
+	}
+}
+
+// commStream instruments the underlying stream's send side; the receive
+// side is accounted by the Collator, which sees every delivered chunk.
+type commStream struct {
+	c     *Comm
+	inner Stream
+}
+
+func (s *commStream) Send(dst int, chunk []byte) error {
+	n := uint64(len(chunk))
+	s.c.bytesSent.Add(n)
+	if s.c.sentC != nil {
+		s.c.sentC.Add(n)
+	}
+	if s.c.chunksC != nil {
+		s.c.chunksC.Inc()
+	}
+	if s.c.chunkBytesH != nil {
+		s.c.chunkBytesH.Observe(float64(n))
+	}
+	return s.inner.Send(dst, chunk)
+}
+
+func (s *commStream) CloseSend() error   { return s.inner.CloseSend() }
+func (s *commStream) Recv() <-chan Chunk { return s.inner.Recv() }
+func (s *commStream) Err() error         { return s.inner.Err() }
+
+// fallbackStream adapts any bulk Transport to the Stream surface: Send
+// appends length-framed chunks to per-destination planes, CloseSend runs
+// the one blocking Exchange and replays the received planes as chunks.
+// No overlap, identical semantics — the degraded mode for transports
+// without native streaming.
+type fallbackStream struct {
+	tr Transport
+
+	mu     sync.Mutex
+	out    *wire.Planes
+	closed bool
+	err    error
+
+	ch chan Chunk
+}
+
+func newFallbackStream(tr Transport) *fallbackStream {
+	return &fallbackStream{
+		tr:  tr,
+		out: wire.GetPlanes(tr.Size()),
+		ch:  make(chan Chunk, 16),
+	}
+}
+
+func (s *fallbackStream) Send(dst int, chunk []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("comm: fallback stream: send after CloseSend")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if dst < 0 || dst >= s.out.Size() {
+		return fmt.Errorf("comm: fallback stream: destination %d out of range [0,%d)", dst, s.out.Size())
+	}
+	b := s.out.To(dst)
+	b.PutUvarint(uint64(len(chunk)))
+	b.PutBytes(chunk)
+	return nil
+}
+
+func (s *fallbackStream) CloseSend() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	out := s.out
+	s.out = nil
+	s.mu.Unlock()
+
+	in, err := s.tr.Exchange(out.Views())
+	out.Release()
+	if err != nil {
+		s.fail(err)
+		close(s.ch)
+		return err
+	}
+	var r wire.Reader
+	for src, plane := range in {
+		r.Reset(plane)
+		for r.More() {
+			n := r.Uvarint()
+			view := r.Bytes(int(n))
+			if r.Err() != nil {
+				break
+			}
+			// Copy into a fresh pooled plane: the view aliases the
+			// received plane, which is released below as a whole.
+			cp := wire.GetPlane(len(view))
+			copy(cp, view)
+			s.ch <- Chunk{Src: src, Data: cp}
+		}
+		if derr := r.Err(); derr != nil {
+			err := fmt.Errorf("comm: fallback stream payload from rank %d: %w", src, derr)
+			s.fail(err)
+			wire.ReleasePlanes(in)
+			close(s.ch)
+			return err
+		}
+	}
+	wire.ReleasePlanes(in)
+	close(s.ch)
+	return nil
+}
+
+func (s *fallbackStream) Recv() <-chan Chunk { return s.ch }
+
+func (s *fallbackStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *fallbackStream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,429 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parlouvain/internal/obs"
+	"parlouvain/internal/wire"
+)
+
+// drainStream collects every received chunk's payload per source, releasing
+// the pooled chunk buffers, and returns a channel that delivers the result
+// when the stream's Recv closes.
+func drainStream(st Stream) <-chan [][]string {
+	done := make(chan [][]string, 1)
+	go func() {
+		var got [][]string
+		for ck := range st.Recv() {
+			for len(got) <= ck.Src {
+				got = append(got, nil)
+			}
+			got[ck.Src] = append(got[ck.Src], string(ck.Data))
+			wire.PutPlane(ck.Data)
+		}
+		done <- got
+	}()
+	return done
+}
+
+// streamRound drives one full streaming round on c: every rank sends
+// `chunks` chunks to every destination (itself included) and verifies it
+// receives every source's chunks in send order.
+func streamRound(c *Comm, round, chunks int) error {
+	st, err := c.OpenStream()
+	if err != nil {
+		return err
+	}
+	done := drainStream(st)
+	for i := 0; i < chunks; i++ {
+		for dst := 0; dst < c.Size(); dst++ {
+			payload := fmt.Sprintf("r%d->%d@%d#%d", c.Rank(), dst, round, i)
+			if err := st.Send(dst, []byte(payload)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		return err
+	}
+	got := <-done
+	if err := st.Err(); err != nil {
+		return err
+	}
+	for src := 0; src < c.Size(); src++ {
+		var want []string
+		for i := 0; i < chunks; i++ {
+			want = append(want, fmt.Sprintf("r%d->%d@%d#%d", src, c.Rank(), round, i))
+		}
+		var have []string
+		if src < len(got) {
+			have = got[src]
+		}
+		if len(have) != len(want) {
+			return fmt.Errorf("round %d: %d chunks from rank %d, want %d", round, len(have), src, len(want))
+		}
+		for i := range want {
+			if have[i] != want[i] {
+				return fmt.Errorf("round %d chunk %d from rank %d: got %q want %q", round, i, src, have[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// TestStreamDelivery: the native streaming paths of the mem and TCP
+// transports deliver every chunk, per-source in send order, across several
+// consecutive rounds.
+func TestStreamDelivery(t *testing.T) {
+	for _, size := range []int{1, 2, 4} {
+		for name, trs := range groups(t, size) {
+			t.Run(fmt.Sprintf("%s/ranks=%d", name, size), func(t *testing.T) {
+				defer closeAll(trs)
+				runGroup(t, trs, func(c *Comm) error {
+					for round := 0; round < 3; round++ {
+						if err := streamRound(c, round, 5); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestStreamInterleavedWithExchange: stream rounds and bulk Exchange rounds
+// share the same collective sequence (and, for TCP, the same connections)
+// without corrupting either framing.
+func TestStreamInterleavedWithExchange(t *testing.T) {
+	for name, trs := range groups(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer closeAll(trs)
+			runGroup(t, trs, func(c *Comm) error {
+				for round := 0; round < 4; round++ {
+					if err := streamRound(c, round, 3); err != nil {
+						return err
+					}
+					out := make([][]byte, c.Size())
+					for dst := range out {
+						out[dst] = []byte(fmt.Sprintf("bulk r%d->%d@%d", c.Rank(), dst, round))
+					}
+					in, err := c.Exchange(out)
+					if err != nil {
+						return err
+					}
+					for src, b := range in {
+						want := fmt.Sprintf("bulk r%d->%d@%d", src, c.Rank(), round)
+						if string(b) != want {
+							return fmt.Errorf("bulk round %d: got %q from %d, want %q", round, b, src, want)
+						}
+					}
+					wire.ReleasePlanes(in)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestStreamSim: the simulated transport's stream stages chunks through the
+// serialized round barrier and replays them with full fidelity.
+func TestStreamSim(t *testing.T) {
+	trs := SimGroup(3, CostModel{})
+	runSimGroup(t, trs, func(c *Comm) error {
+		for round := 0; round < 3; round++ {
+			if err := streamRound(c, round, 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// bulkOnly hides any Streamer implementation of the wrapped transport, so
+// Comm.OpenStream must fall back to the single-Exchange adapter.
+type bulkOnly struct{ Transport }
+
+// TestStreamFallbackAdapter: a transport without native streaming still
+// serves the full Stream surface through the bulk adapter, with identical
+// delivery and chunk boundaries.
+func TestStreamFallbackAdapter(t *testing.T) {
+	inner := NewMemGroup(3)
+	trs := make([]Transport, len(inner))
+	for i, tr := range inner {
+		trs[i] = bulkOnly{tr}
+	}
+	defer closeAll(trs)
+	runGroup(t, trs, func(c *Comm) error {
+		if _, ok := c.tr.(Streamer); ok {
+			return fmt.Errorf("bulkOnly wrapper leaked the Streamer capability")
+		}
+		for round := 0; round < 3; round++ {
+			if err := streamRound(c, round, 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestStreamCountsTraffic: stream rounds feed the same round and byte
+// counters as Exchange rounds.
+func TestStreamCountsTraffic(t *testing.T) {
+	trs := NewMemGroup(2)
+	defer closeAll(trs)
+	var mu sync.Mutex
+	counts := map[int][2]uint64{}
+	runGroup(t, trs, func(c *Comm) error {
+		if err := streamRound(c, 0, 2); err != nil {
+			return err
+		}
+		mu.Lock()
+		counts[c.Rank()] = [2]uint64{c.Rounds(), c.BytesSent()}
+		mu.Unlock()
+		return nil
+	})
+	for rank, got := range counts {
+		if got[0] != 1 {
+			t.Errorf("rank %d: %d rounds counted, want 1", rank, got[0])
+		}
+		if got[1] == 0 {
+			t.Errorf("rank %d: zero bytes counted for a stream round", rank)
+		}
+	}
+}
+
+// fakeStream feeds the Collator hand-crafted chunks.
+type fakeStream struct{ ch chan Chunk }
+
+func (f *fakeStream) Send(int, []byte) error { return nil }
+func (f *fakeStream) CloseSend() error       { return nil }
+func (f *fakeStream) Recv() <-chan Chunk     { return f.ch }
+func (f *fakeStream) Err() error             { return nil }
+
+// framedChunk builds a wire-framed chunk: the documented 8-byte header
+// ([u16 thread][u16 nthreads][u32 seq|fin]) followed by the payload.
+func framedChunk(thread, threads int, seq uint32, fin bool, payload string) []byte {
+	b := wire.GetPlane(wire.ChunkHeaderSize + len(payload))
+	binary.LittleEndian.PutUint16(b[0:], uint16(thread))
+	binary.LittleEndian.PutUint16(b[2:], uint16(threads))
+	if fin {
+		seq |= wire.ChunkFin
+	}
+	binary.LittleEndian.PutUint32(b[4:], seq)
+	copy(b[wire.ChunkHeaderSize:], payload)
+	return b
+}
+
+// TestCollatorCanonicalOrder: chunks arriving in an adversarial interleaving
+// are replayed in (source, thread, seq) order.
+func TestCollatorCanonicalOrder(t *testing.T) {
+	trs := NewMemGroup(2)
+	defer closeAll(trs)
+	c := New(trs[0])
+	cl := c.NewCollator()
+	fake := &fakeStream{ch: make(chan Chunk, 16)}
+
+	// Arrival order scrambles sources, threads and sequence positions; the
+	// canonical replay must be src 0 (t0: a0 a1; t1: b0) then src 1 (t0: c0).
+	fake.ch <- Chunk{Src: 1, Data: framedChunk(0, 1, 0, true, "c0")}
+	fake.ch <- Chunk{Src: 0, Data: framedChunk(1, 2, 0, true, "b0")}
+	fake.ch <- Chunk{Src: 0, Data: framedChunk(0, 2, 0, false, "a0")}
+	fake.ch <- Chunk{Src: 0, Data: framedChunk(0, 2, 1, true, "a1")}
+	close(fake.ch)
+
+	cl.Begin(fake)
+	cur := cl.Cursor(false)
+	var got []string
+	for {
+		payload, ok, err := cl.Next(&cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, string(payload))
+	}
+	if err := cl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "a1", "b0", "c0"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCollatorTruncation: a stream that closes before every (thread, seq)
+// fin arrives is reported as a truncated round, not silently accepted.
+func TestCollatorTruncation(t *testing.T) {
+	trs := NewMemGroup(2)
+	defer closeAll(trs)
+	c := New(trs[0])
+	cl := c.NewCollator()
+	fake := &fakeStream{ch: make(chan Chunk, 4)}
+	fake.ch <- Chunk{Src: 0, Data: framedChunk(0, 1, 0, false, "partial")}
+	close(fake.ch) // no fin from src 0, nothing at all from src 1
+
+	cl.Begin(fake)
+	cur := cl.Cursor(false)
+	if payload, ok, err := cl.Next(&cur); err != nil || !ok || string(payload) != "partial" {
+		t.Fatalf("first chunk: %q %v %v", payload, ok, err)
+	}
+	if _, ok, err := cl.Next(&cur); err == nil || ok {
+		t.Fatalf("truncated round not detected: ok=%v err=%v", ok, err)
+	}
+	if err := cl.Finish(); err == nil {
+		t.Fatal("Finish reported no error for a truncated round")
+	}
+}
+
+// TestChaosStreamDeliveryUnchanged: the chaos wrapper's per-chunk fault
+// injection (delays, transient errors, duplicate verification) must not
+// change what a streaming round delivers.
+func TestChaosStreamDeliveryUnchanged(t *testing.T) {
+	for _, size := range []int{2, 4} {
+		t.Run(fmt.Sprintf("ranks=%d", size), func(t *testing.T) {
+			trs := chaosGroup(size, noisyConfig(7))
+			defer closeAll(trs)
+			runGroup(t, trs, func(c *Comm) error {
+				for round := 0; round < 6; round++ {
+					if err := streamRound(c, round, 4); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			var total ChaosStats
+			for _, tr := range trs {
+				st, ok := ChaosStatsOf(tr)
+				if !ok {
+					t.Fatal("ChaosStatsOf: not a chaos transport")
+				}
+				if st.Failures != 0 {
+					t.Errorf("unexpected failures: %+v", st)
+				}
+				total.Delays += st.Delays
+				total.Retries += st.Retries
+				total.Dups += st.Dups
+			}
+			if total.Delays == 0 || total.Retries == 0 || total.Dups == 0 {
+				t.Errorf("fault injector idle on the stream path: %+v", total)
+			}
+		})
+	}
+}
+
+// TestChaosStreamDeterministicSchedule: a fixed seed must produce the same
+// per-chunk fault schedule on the streaming path.
+func TestChaosStreamDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []ChaosStats {
+		trs := chaosGroup(2, noisyConfig(seed))
+		defer closeAll(trs)
+		runGroup(t, trs, func(c *Comm) error {
+			for round := 0; round < 8; round++ {
+				if err := streamRound(c, round, 3); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		out := make([]ChaosStats, len(trs))
+		for i, tr := range trs {
+			out[i], _ = ChaosStatsOf(tr)
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("rank %d schedules diverge for one seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChaosStreamFailFast: with the retry budget exhausted, a streaming
+// round fails with ErrInjected, tears the group down, and no rank deadlocks.
+func TestChaosStreamFailFast(t *testing.T) {
+	cfg := ChaosConfig{Seed: 3, ErrProb: 1.0, MaxRetries: 2, RetryBackoff: time.Microsecond}
+	trs := chaosGroup(2, cfg)
+	defer closeAll(trs)
+
+	errs := make([]error, len(trs))
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		var wg sync.WaitGroup
+		for i, tr := range trs {
+			wg.Add(1)
+			go func(i int, tr Transport) {
+				defer wg.Done()
+				c := New(tr)
+				st, err := c.OpenStream()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				drained := drainStream(st)
+				var sendErr error
+				for dst := 0; dst < c.Size() && sendErr == nil; dst++ {
+					sendErr = st.Send(dst, []byte("doomed"))
+				}
+				st.CloseSend()
+				<-drained
+				if sendErr == nil {
+					sendErr = st.Err()
+				}
+				errs[i] = sendErr
+			}(i, tr)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fail-fast streaming round deadlocked")
+	}
+	injected := false
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("rank %d: no error under ErrProb=1 with retry budget 2", i)
+		}
+		if errors.Is(err, ErrInjected) {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Errorf("no rank surfaced ErrInjected: %v", errs)
+	}
+}
+
+// TestStreamChunkMetrics: the streaming instruments register and count.
+func TestStreamChunkMetrics(t *testing.T) {
+	trs := NewMemGroup(2)
+	defer closeAll(trs)
+	runGroup(t, trs, func(c *Comm) error {
+		reg := obs.NewRegistry()
+		c.Instrument(reg)
+		if err := streamRound(c, 0, 3); err != nil {
+			return err
+		}
+		if got := reg.Counter("comm_stream_chunks").Value(); got == 0 {
+			return fmt.Errorf("comm_stream_chunks = 0 after a stream round")
+		}
+		if got := reg.Histogram("comm_stream_chunk_bytes", nil).Snapshot().Count; got == 0 {
+			return fmt.Errorf("comm_stream_chunk_bytes histogram empty")
+		}
+		return nil
+	})
+}

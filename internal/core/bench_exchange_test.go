@@ -15,61 +15,73 @@ import (
 // all-to-all exchange, decode, Out_Table rebuild and the Σtot pull — per
 // rank. allocs/op is the steady-state allocation count of that round; the
 // buffer-pooling work in internal/wire exists to drive it toward zero
-// (numbers tracked in EXPERIMENTS.md).
+// (numbers tracked in EXPERIMENTS.md). The mode axis pins both exchange
+// paths: bulk is the zero-alloc baseline (its numbers must not regress),
+// stream pays a small constant per-round cost for merge workers and the
+// collator pump.
 func BenchmarkExchangeAllocs(b *testing.B) {
 	const n = 2000
 	el, _, err := gen.LFR(gen.DefaultLFR(n, 0.3, 11))
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, ranks := range []int{1, 2} {
-		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
-			parts := graph.SplitEdges(el, ranks)
-			trs := comm.NewMemGroup(ranks)
-			defer func() {
-				for _, tr := range trs {
-					tr.Close()
-				}
-			}()
-			states := make([]*engine, ranks)
-			var setup par.Group
-			for r := 0; r < ranks; r++ {
-				r := r
-				setup.Go(func() error {
-					opt := Options{Threads: 1}.withDefaults()
-					s := newEngine(comm.New(trs[r]), n, opt)
-					states[r] = s
-					if err := s.loadLocal(parts[r]); err != nil {
-						return err
+	modes := []struct {
+		name  string
+		chunk int
+	}{
+		{"bulk", -1},
+		{"stream", 0},
+	}
+	for _, mode := range modes {
+		for _, ranks := range []int{1, 2} {
+			b.Run(fmt.Sprintf("mode=%s/ranks=%d", mode.name, ranks), func(b *testing.B) {
+				parts := graph.SplitEdges(el, ranks)
+				trs := comm.NewMemGroup(ranks)
+				defer func() {
+					for _, tr := range trs {
+						tr.Close()
 					}
-					if _, err := s.levelInit(); err != nil {
-						return err
-					}
-					// Warm every reusable buffer so the measured loop sees
-					// steady state.
-					return s.propagate()
-				})
-			}
-			if err := setup.Wait(); err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			var run par.Group
-			for r := 0; r < ranks; r++ {
-				r := r
-				run.Go(func() error {
-					for i := 0; i < b.N; i++ {
-						if err := states[r].propagate(); err != nil {
+				}()
+				states := make([]*engine, ranks)
+				var setup par.Group
+				for r := 0; r < ranks; r++ {
+					r := r
+					setup.Go(func() error {
+						opt := Options{Threads: 1, StreamChunk: mode.chunk}.withDefaults()
+						s := newEngine(comm.New(trs[r]), n, opt)
+						states[r] = s
+						if err := s.loadLocal(parts[r]); err != nil {
 							return err
 						}
-					}
-					return nil
-				})
-			}
-			if err := run.Wait(); err != nil {
-				b.Fatal(err)
-			}
-		})
+						if _, err := s.levelInit(); err != nil {
+							return err
+						}
+						// Warm every reusable buffer so the measured loop sees
+						// steady state.
+						return s.propagate()
+					})
+				}
+				if err := setup.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var run par.Group
+				for r := 0; r < ranks; r++ {
+					r := r
+					run.Go(func() error {
+						for i := 0; i < b.N; i++ {
+							if err := states[r].propagate(); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				}
+				if err := run.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }

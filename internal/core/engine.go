@@ -120,6 +120,35 @@ type engine struct {
 	// exchange-building pass and recycled when the engine finishes.
 	planes *wire.Planes
 
+	// Streaming-exchange state (scatter.go): per-thread chunked send
+	// planes, the collator that restores deterministic merge order on the
+	// receive side, and the per-merge-worker error slots. All reused
+	// across rounds.
+	chunked   wire.ChunkedPlanes
+	coll      *comm.Collator
+	mergeErrs []error
+
+	// Scatter callback plumbing. The per-phase build/merge callbacks and
+	// the par.For bodies that wrap them are bound once at construction —
+	// creating a method value or a capturing closure allocates, and doing
+	// that inside propagate would put allocations back on the steady-state
+	// round that the plane pooling works to keep allocation-free. curBuild
+	// and curMerge select the active phase for the shared bodies; bulkIn
+	// and readers carry the received round through bulkMergeBody.
+	curBuild      func(t, lo, hi int, w *wire.ChunkWriter)
+	curMerge      func(t int, r *wire.Reader) error
+	buildBody     func(t, lo, hi int)
+	bulkMergeBody func(t, lo, hi int)
+	bulkIn        [][]byte
+	readers       []wire.Reader
+	newComms      [][]uint32
+	propBuildFn   func(t, lo, hi int, w *wire.ChunkWriter)
+	propMergeFn   func(t int, r *wire.Reader) error
+	deltaBuildFn  func(t, lo, hi int, w *wire.ChunkWriter)
+	deltaMergeFn  func(t int, r *wire.Reader) error
+	reconBuildFn  func(t, lo, hi int, w *wire.ChunkWriter)
+	reconMergeFn  func(t int, r *wire.Reader) error
+
 	m  float64
 	bd *perf.Breakdown
 
@@ -171,6 +200,27 @@ func newEngine(c *comm.Comm, n int, opt Options) *engine {
 	s.remoteTot = edgetable.New(tcfg(256))
 	s.remoteMembers = edgetable.New(tcfg(256))
 	s.planes = wire.GetPlanes(c.Size())
+	s.coll = c.NewCollator()
+	s.mergeErrs = make([]error, opt.Threads)
+	s.readers = make([]wire.Reader, opt.Threads)
+	s.newComms = make([][]uint32, opt.Threads)
+	s.buildBody = func(t, lo, hi int) { s.curBuild(t, lo, hi, s.chunked.Writer(t)) }
+	s.bulkMergeBody = func(t, _, _ int) {
+		r := &s.readers[t]
+		for _, plane := range s.bulkIn {
+			r.Reset(plane)
+			if err := s.curMerge(t, r); err != nil {
+				s.mergeErrs[t] = err
+				return
+			}
+		}
+	}
+	s.propBuildFn = s.propagateBuild
+	s.propMergeFn = s.propagateMerge
+	s.deltaBuildFn = s.deltaBuild
+	s.deltaMergeFn = s.deltaMerge
+	s.reconBuildFn = s.reconstructBuild
+	s.reconMergeFn = s.reconstructMerge
 	s.rec = opt.Recorder
 	if reg := opt.Metrics; reg != nil {
 		c.Instrument(reg)

@@ -50,6 +50,11 @@ func DefaultEpsilon() EpsilonFunc {
 	return DecayEpsilon(1.0, 2.0)
 }
 
+// DefaultStreamChunk is the streaming-exchange chunk size (bytes) used when
+// Options.StreamChunk is zero: 64 KiB keeps per-chunk overhead negligible
+// while leaving enough chunks per round to overlap transfer with compute.
+const DefaultStreamChunk = 64 << 10
+
 // Options configures either engine. The zero value is usable.
 type Options struct {
 	// MaxLevels bounds outer iterations; 0 means 32.
@@ -83,6 +88,17 @@ type Options struct {
 	LoadFactor float64
 	// TableLayout for the edge tables (probing by default).
 	TableLayout edgetable.Layout
+
+	// StreamChunk selects the exchange mode of the heavy scatter phases
+	// (full propagation, delta propagation, reconstruction): 0 streams
+	// with DefaultStreamChunk-sized chunks, a positive value streams with
+	// that chunk size in bytes, and a negative value restores the bulk
+	// single-Exchange rounds. Streaming overlaps plane building, transfer
+	// and merging; results are bit-identical in every mode. Every rank of
+	// a group must set it identically (the modes frame rounds
+	// differently). Exposed as -stream-chunk on cmd/louvain and
+	// cmd/louvaind.
+	StreamChunk int
 
 	// CollectLevels, when true, gathers the per-level membership of every
 	// original vertex into Result.Levels[i].Membership. Costs one
@@ -152,6 +168,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Epsilon == nil {
 		o.Epsilon = DefaultEpsilon()
+	}
+	if o.StreamChunk == 0 {
+		o.StreamChunk = DefaultStreamChunk
 	}
 	return o
 }

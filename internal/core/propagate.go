@@ -3,7 +3,6 @@ package core
 import (
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
-	"parlouvain/internal/par"
 	"parlouvain/internal/wire"
 )
 
@@ -21,50 +20,45 @@ func (s *engine) propagate() error {
 	for t := 0; t < s.opt.Threads; t++ {
 		s.out[t].Reset()
 	}
-	p := s.outPlanes()
-	for li := 0; li < s.nLoc; li++ {
+	if err := s.scatter(s.nLoc, s.propBuildFn, s.propMergeFn); err != nil {
+		return err
+	}
+	return s.pullTotals(true)
+}
+
+// propagateBuild translates a contiguous range of owned vertices' in-edges
+// into ((v, comm), w) records for their owners.
+func (s *engine) propagateBuild(_, lo, hi int, w *wire.ChunkWriter) {
+	for li := lo; li < hi; li++ {
 		if !s.active[li] {
 			continue
 		}
 		cc := uint32(s.commOf[li])
 		for e := s.adjOff[li]; e < s.adjOff[li+1]; e++ {
 			src := s.adjSrc[e]
-			s.planes.To(s.part.Owner(src)).PutTriple(wire.Triple{A: src, B: cc, W: s.adjW[e]})
+			dst := s.part.Owner(src)
+			w.To(dst).PutTriple(wire.Triple{A: src, B: cc, W: s.adjW[e]})
+			w.Commit(dst)
 		}
 	}
-	in, err := s.exchange(p)
-	if err != nil {
-		return err
-	}
-	// Insert received (u, c, w) into the Out_Table shard of u. Each
-	// worker decodes every plane but only handles its own shard, keeping
-	// inserts race-free and deterministic.
-	var decodeErr error
-	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
-		var r wire.Reader
-		for _, plane := range in {
-			r.Reset(plane)
-			for r.More() {
-				tr := r.Triple()
-				if r.Err() != nil {
-					break
-				}
-				li := s.part.LocalIndex(tr.A)
-				if li%s.opt.Threads != t {
-					continue
-				}
-				s.out[t].AddPair(tr.A, tr.B, tr.W)
-			}
-			if err := r.Err(); err != nil && decodeErr == nil {
-				decodeErr = err
-			}
+}
+
+// propagateMerge inserts received (u, c, w) records into the Out_Table
+// shard of u — each worker sees every payload but only applies its own
+// shard, keeping inserts race-free and deterministic.
+func (s *engine) propagateMerge(t int, r *wire.Reader) error {
+	for r.More() {
+		tr := r.Triple()
+		if r.Err() != nil {
+			break
 		}
-	})
-	wire.ReleasePlanes(in)
-	if decodeErr != nil {
-		return decodeErr
+		li := s.part.LocalIndex(tr.A)
+		if li%s.opt.Threads != t {
+			continue
+		}
+		s.out[t].AddPair(tr.A, tr.B, tr.W)
 	}
-	return s.pullTotals(true)
+	return r.Err()
 }
 
 // propagateDelta refreshes the Out_Table incrementally after an update:
@@ -73,63 +67,63 @@ func (s *engine) propagate() error {
 // new one. The Σtot cache is re-pulled in full (totals change even for
 // communities whose membership this rank did not touch).
 func (s *engine) propagateDelta() error {
-	p := s.outPlanes()
-	for _, mv := range s.moveLog {
-		li := mv.li
-		oldC, newC := uint32(mv.oldC), uint32(s.commOf[li])
-		for e := s.adjOff[li]; e < s.adjOff[li+1]; e++ {
-			src := s.adjSrc[e]
-			b := p.To(s.part.Owner(src))
-			b.PutU32(src)
-			b.PutU32(oldC)
-			b.PutU32(newC)
-			b.PutF64(s.adjW[e])
-		}
+	for t := range s.newComms {
+		s.newComms[t] = s.newComms[t][:0]
 	}
-	in, err := s.exchange(p)
-	if err != nil {
+	if err := s.scatter(len(s.moveLog), s.deltaBuildFn, s.deltaMergeFn); err != nil {
 		return err
-	}
-	var decodeErr error
-	newComms := make([][]uint32, s.opt.Threads)
-	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
-		var r wire.Reader
-		for _, plane := range in {
-			r.Reset(plane)
-			for r.More() {
-				u := r.U32()
-				oldC := r.U32()
-				newC := r.U32()
-				w := r.F64()
-				if r.Err() != nil {
-					break
-				}
-				li := s.part.LocalIndex(u)
-				if li%s.opt.Threads != t {
-					continue
-				}
-				s.out[t].AddPair(u, oldC, -w)
-				if s.out[t].AddPair(u, newC, w) {
-					newComms[t] = append(newComms[t], newC)
-				}
-			}
-			if err := r.Err(); err != nil && decodeErr == nil {
-				decodeErr = err
-			}
-		}
-	})
-	wire.ReleasePlanes(in)
-	if decodeErr != nil {
-		return decodeErr
 	}
 	// Extend the Σtot reference set with the newly-seen communities; the
 	// existing keys are kept, so no Out_Table rescan is needed.
-	for _, ccs := range newComms {
+	for _, ccs := range s.newComms {
 		for _, cc := range ccs {
 			s.remoteTot.Set(uint64(cc), 0)
 		}
 	}
 	return s.pullTotals(false)
+}
+
+// deltaBuild rebroadcasts the in-edges of a contiguous range of the move
+// log as (u, oldC, newC, w) records for the owners of the endpoints.
+func (s *engine) deltaBuild(_, lo, hi int, w *wire.ChunkWriter) {
+	for _, mv := range s.moveLog[lo:hi] {
+		li := mv.li
+		oldC, newC := uint32(mv.oldC), uint32(s.commOf[li])
+		for e := s.adjOff[li]; e < s.adjOff[li+1]; e++ {
+			src := s.adjSrc[e]
+			dst := s.part.Owner(src)
+			b := w.To(dst)
+			b.PutU32(src)
+			b.PutU32(oldC)
+			b.PutU32(newC)
+			b.PutF64(s.adjW[e])
+			w.Commit(dst)
+		}
+	}
+}
+
+// deltaMerge moves each received contribution from the old community's
+// aggregation to the new one, collecting first-seen communities so the
+// Σtot reference set can be extended after the round.
+func (s *engine) deltaMerge(t int, r *wire.Reader) error {
+	for r.More() {
+		u := r.U32()
+		oldC := r.U32()
+		newC := r.U32()
+		w := r.F64()
+		if r.Err() != nil {
+			break
+		}
+		li := s.part.LocalIndex(u)
+		if li%s.opt.Threads != t {
+			continue
+		}
+		s.out[t].AddPair(u, oldC, -w)
+		if s.out[t].AddPair(u, newC, w) {
+			s.newComms[t] = append(s.newComms[t], newC)
+		}
+	}
+	return r.Err()
 }
 
 // pullTotals refreshes remoteTot and remoteMembers with the Σtot and

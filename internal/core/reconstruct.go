@@ -117,54 +117,15 @@ func (s *engine) levelInit() (uint64, error) {
 // ((u,c),w) into a supergraph in-edge ((comm[u], c), w) at owner(c),
 // rebuilding the In_Table for the next level.
 func (s *engine) reconstruct() error {
-	p := s.outPlanes()
-	for t := 0; t < s.opt.Threads; t++ {
-		s.out[t].Range(func(key uint64, w float64) bool {
-			if w == 0 {
-				return true // emptied by delta propagation
-			}
-			u, cc := hashfn.Unpack32(key)
-			li := s.part.LocalIndex(u)
-			if !s.active[li] {
-				return true
-			}
-			// src supervertex = comm[u]; dst supervertex cc is owned by
-			// the destination rank.
-			p.To(s.part.Owner(graph.V(cc))).PutTriple(wire.Triple{A: uint32(s.commOf[li]), B: cc, W: w})
-			return true
-		})
-	}
+	// The In_Table is reset before the scatter so merge workers can rebuild
+	// it while the Out_Table scan is still producing records; the two table
+	// families are disjoint, so build (reads out) and merge (writes in)
+	// overlap safely.
 	for t := 0; t < s.opt.Threads; t++ {
 		s.in[t].Reset()
 	}
-	in, err := s.exchange(p)
-	if err != nil {
+	if err := s.scatter(s.opt.Threads, s.reconBuildFn, s.reconMergeFn); err != nil {
 		return err
-	}
-	var decodeErr error
-	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
-		var r wire.Reader
-		for _, plane := range in {
-			r.Reset(plane)
-			for r.More() {
-				tr := r.Triple()
-				if r.Err() != nil {
-					break
-				}
-				li := s.part.LocalIndex(tr.B)
-				if li%s.opt.Threads != t {
-					continue
-				}
-				s.in[t].AddPair(tr.A, tr.B, tr.W)
-			}
-			if err := r.Err(); err != nil && decodeErr == nil {
-				decodeErr = err
-			}
-		}
-	})
-	wire.ReleasePlanes(in)
-	if decodeErr != nil {
-		return decodeErr
 	}
 	for t := 0; t < s.opt.Threads; t++ {
 		s.out[t].Reset()
@@ -176,6 +137,47 @@ func (s *engine) reconstruct() error {
 		s.in[s.shardOf(0)].AddPair(0, 0, 1)
 	}
 	return nil
+}
+
+// reconstructBuild scans a contiguous range of Out_Table shards, emitting
+// every live aggregation as a supergraph in-edge for the owner of its
+// destination supervertex.
+func (s *engine) reconstructBuild(_, lo, hi int, cw *wire.ChunkWriter) {
+	for ti := lo; ti < hi; ti++ {
+		s.out[ti].Range(func(key uint64, w float64) bool {
+			if w == 0 {
+				return true // emptied by delta propagation
+			}
+			u, cc := hashfn.Unpack32(key)
+			li := s.part.LocalIndex(u)
+			if !s.active[li] {
+				return true
+			}
+			// src supervertex = comm[u]; dst supervertex cc is
+			// owned by the destination rank.
+			dst := s.part.Owner(graph.V(cc))
+			cw.To(dst).PutTriple(wire.Triple{A: uint32(s.commOf[li]), B: cc, W: w})
+			cw.Commit(dst)
+			return true
+		})
+	}
+}
+
+// reconstructMerge inserts received supergraph edges into this worker's
+// In_Table shard.
+func (s *engine) reconstructMerge(t int, r *wire.Reader) error {
+	for r.More() {
+		tr := r.Triple()
+		if r.Err() != nil {
+			break
+		}
+		li := s.part.LocalIndex(tr.B)
+		if li%s.opt.Threads != t {
+			continue
+		}
+		s.in[t].AddPair(tr.A, tr.B, tr.W)
+	}
+	return r.Err()
 }
 
 // gatherAssignments returns the full community vector of the current level

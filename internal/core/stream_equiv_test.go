@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/par"
+)
+
+// Streaming-vs-bulk equivalence: the chunked streaming exchange must be a
+// pure transport optimization. For any chunk size — including degenerate
+// tiny chunks that force a flush on almost every record — the engine must
+// produce bytes-for-bytes the same merge order as a bulk round, and
+// therefore bit-identical results. These tests pin that property across
+// transports (mem, sim, TCP), rank counts, and thread counts.
+
+// streamModes is the exchange-mode axis swept by the equivalence tests:
+// bulk single-Exchange rounds, pathological 64-byte chunks (every Commit
+// flushes), a small-but-plausible size, and the default.
+var streamModes = []struct {
+	name  string
+	chunk int
+}{
+	{"bulk", -1},
+	{"chunk=64", 64},
+	{"chunk=1024", 1024},
+	{"chunk=default", 0},
+}
+
+// sameResult fails the test unless a and b are bit-identical in every
+// algorithmic field: final Q, final membership, and the full per-level
+// trace (Q, sizes, iteration counts, per-level membership).
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Q != b.Q {
+		t.Errorf("%s: Q %v != %v", label, a.Q, b.Q)
+	}
+	if len(a.Membership) != len(b.Membership) {
+		t.Fatalf("%s: membership lengths %d != %d", label, len(a.Membership), len(b.Membership))
+	}
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Errorf("%s: vertex %d assigned %d vs %d", label, v, a.Membership[v], b.Membership[v])
+			break
+		}
+	}
+	if len(a.Levels) != len(b.Levels) {
+		t.Fatalf("%s: level counts %d != %d", label, len(a.Levels), len(b.Levels))
+	}
+	for i := range a.Levels {
+		la, lb := &a.Levels[i], &b.Levels[i]
+		if la.Q != lb.Q || la.Vertices != lb.Vertices || la.Communities != lb.Communities ||
+			la.InnerIterations != lb.InnerIterations {
+			t.Errorf("%s: level %d diverged: %+v vs %+v", label, i,
+				Level{Q: la.Q, Vertices: la.Vertices, Communities: la.Communities, InnerIterations: la.InnerIterations},
+				Level{Q: lb.Q, Vertices: lb.Vertices, Communities: lb.Communities, InnerIterations: lb.InnerIterations})
+			break
+		}
+		for v := range la.Membership {
+			if la.Membership[v] != lb.Membership[v] {
+				t.Errorf("%s: level %d membership diverged at vertex %d", label, i, v)
+				break
+			}
+		}
+	}
+}
+
+// TestStreamBulkEquivalenceMem: on the in-process transport, every chunk
+// size reproduces the bulk result exactly, across rank and thread counts.
+// Threads > 1 matters: it exercises the sharded concurrent merge and the
+// per-thread chunk interleave that bulk mode never sees.
+func TestStreamBulkEquivalenceMem(t *testing.T) {
+	el := randomGraph(90, 0.07, 515)
+	for _, ranks := range []int{1, 2, 4} {
+		for _, threads := range []int{1, 3} {
+			base, err := RunInProcess(el, 90, ranks, Options{
+				CollectLevels: true, Threads: threads, StreamChunk: -1,
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d threads=%d bulk: %v", ranks, threads, err)
+			}
+			for _, mode := range streamModes[1:] {
+				got, err := RunInProcess(el, 90, ranks, Options{
+					CollectLevels: true, Threads: threads, StreamChunk: mode.chunk,
+				})
+				if err != nil {
+					t.Fatalf("ranks=%d threads=%d %s: %v", ranks, threads, mode.name, err)
+				}
+				sameResult(t, fmt.Sprintf("ranks=%d threads=%d %s", ranks, threads, mode.name), base, got)
+			}
+		}
+	}
+}
+
+// TestStreamBulkEquivalenceSim: the serialized BSP-model transport stages
+// chunks and releases them at the round barrier; results must still match
+// bulk mode bit-for-bit (and each other across chunk sizes).
+func TestStreamBulkEquivalenceSim(t *testing.T) {
+	el := randomGraph(70, 0.09, 626)
+	for _, ranks := range []int{2, 4} {
+		base, err := RunSimulated(el, 70, ranks, Options{CollectLevels: true, StreamChunk: -1}, comm.CostModel{})
+		if err != nil {
+			t.Fatalf("ranks=%d bulk: %v", ranks, err)
+		}
+		for _, mode := range streamModes[1:] {
+			got, err := RunSimulated(el, 70, ranks, Options{CollectLevels: true, StreamChunk: mode.chunk}, comm.CostModel{})
+			if err != nil {
+				t.Fatalf("ranks=%d %s: %v", ranks, mode.name, err)
+			}
+			sameResult(t, fmt.Sprintf("sim ranks=%d %s", ranks, mode.name), base, got)
+		}
+	}
+}
+
+// runTCPGroup runs a rank group over real loopback TCP and returns rank
+// 0's result after checking all ranks agree on the final Q.
+func runTCPGroup(t *testing.T, el graph.EdgeList, n, ranks int, opt Options) *Result {
+	t.Helper()
+	parts := graph.SplitEdges(el, ranks)
+	addrs, err := comm.LocalAddrs(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, ranks)
+	var g par.Group
+	for r := 0; r < ranks; r++ {
+		r := r
+		g.Go(func() error {
+			tr, err := comm.NewTCP(comm.TCPConfig{Rank: r, Addrs: addrs})
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			defer tr.Close()
+			res, err := Parallel(comm.New(tr), parts[r], n, opt)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			results[r] = res
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < ranks; r++ {
+		if results[r].Q != results[0].Q {
+			t.Fatalf("rank %d Q %v != rank 0 Q %v", r, results[r].Q, results[0].Q)
+		}
+	}
+	return results[0]
+}
+
+// TestStreamBulkEquivalenceTCP: over real sockets chunk arrival order is
+// genuinely nondeterministic, so this is the strongest check that the
+// collator's canonical replay restores the deterministic merge order.
+func TestStreamBulkEquivalenceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP group in -short mode")
+	}
+	el := randomGraph(80, 0.08, 737)
+	const ranks = 3
+	opt := Options{CollectLevels: true, Threads: 2}
+
+	opt.StreamChunk = -1
+	base := runTCPGroup(t, el, 80, ranks, opt)
+
+	for _, mode := range streamModes[1:] {
+		opt.StreamChunk = mode.chunk
+		got := runTCPGroup(t, el, 80, ranks, opt)
+		sameResult(t, fmt.Sprintf("tcp ranks=%d %s", ranks, mode.name), base, got)
+	}
+
+	// And the TCP result matches the in-process one: the transport layer
+	// is invisible to the algorithm.
+	mem, err := RunInProcess(el, 80, ranks, Options{CollectLevels: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "tcp vs mem", base, mem)
+}

@@ -142,6 +142,23 @@ func (r *Reader) F64() float64 {
 	return x
 }
 
+// Bytes returns the next n encoded bytes as a view into the plane (nil
+// after an error or when fewer than n bytes remain).
+func (r *Reader) Bytes(n int) []byte {
+	if n < 0 {
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: negative byte count %d", n)
+		}
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
 // Uvarint decodes an unsigned LEB128 varint (0 after an error).
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
