@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench-json clean
+.PHONY: all build test race vet fmt check chaos bench-json bench-compare clean
 
 all: check
 
@@ -26,9 +26,17 @@ chaos:
 
 # Run the exchange benchmarks and fixed-seed end-to-end solves, writing
 # machine-readable results (micro-bench ns/op and allocs, bulk-vs-stream
-# wall clock, overlap fraction) to BENCH_PR5.json.
+# wall clock, overlap fraction) to BENCH_PR6.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+
+# Perf regression gate: re-run the suite and diff it against the checked-in
+# baseline (override with BENCH_BASE=...). Exits non-zero when any metric
+# regressed beyond tolerance; see cmd/benchjson for the tolerance flags.
+BENCH_BASE ?= BENCH_PR6.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -out /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) /tmp/bench_head.json
 
 # gofmt -l lists nonconforming files; fail if any.
 fmt:

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseReport() *report {
+	return &report{
+		Benchmarks: []benchLine{
+			{Name: "BenchmarkExchangeAllocs/mode=bulk/ranks=2", NsPerOp: 1e6,
+				Metrics: map[string]float64{"B/op": 10000, "allocs/op": 4}},
+			{Name: "BenchmarkStreamOverlap/ranks=2", NsPerOp: 2e6,
+				Metrics: map[string]float64{"B/op": 50000, "allocs/op": 120}},
+		},
+		E2E: []e2eRun{
+			{Transport: "mem", Mode: "bulk", Ranks: 2, Threads: 2, Seconds: 1.0},
+			{Transport: "mem", Mode: "stream", Ranks: 2, Threads: 2, Seconds: 1.1, OverlapFrac: 0.8},
+			{Transport: "tcp", Mode: "stream", Ranks: 2, Threads: 2, Seconds: 1.5, OverlapFrac: 0.9},
+		},
+	}
+}
+
+func regressions(ds []delta) []string {
+	var out []string
+	for _, d := range ds {
+		if d.Regressed {
+			out = append(out, d.Metric)
+		}
+	}
+	return out
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	ds := compareReports(baseReport(), baseReport(), defaultTolerances())
+	if len(ds) == 0 {
+		t.Fatal("no metrics compared")
+	}
+	if r := regressions(ds); len(r) != 0 {
+		t.Errorf("identical reports flagged: %v", r)
+	}
+}
+
+// TestCompareFlagsInjectedRegressions is the gate's self-test: each class
+// of injected regression — slower micro-bench, extra allocations, slower
+// end-to-end run, lost transfer overlap — must be flagged individually.
+func TestCompareFlagsInjectedRegressions(t *testing.T) {
+	tol := defaultTolerances()
+	cases := []struct {
+		name   string
+		mutate func(*report)
+		want   string
+	}{
+		{"ns/op +50%", func(r *report) { r.Benchmarks[0].NsPerOp *= 1.5 },
+			"BenchmarkExchangeAllocs/mode=bulk/ranks=2 ns/op"},
+		{"B/op +20%", func(r *report) { r.Benchmarks[1].Metrics["B/op"] *= 1.2 },
+			"BenchmarkStreamOverlap/ranks=2 B/op"},
+		{"allocs/op 4->6", func(r *report) { r.Benchmarks[0].Metrics["allocs/op"] = 6 },
+			"BenchmarkExchangeAllocs/mode=bulk/ranks=2 allocs/op"},
+		{"e2e +50%", func(r *report) { r.E2E[0].Seconds *= 1.5 },
+			"e2e mem/bulk seconds"},
+		{"overlap 0.9->0.5", func(r *report) { r.E2E[2].OverlapFrac = 0.5 },
+			"e2e tcp/stream overlap-frac"},
+	}
+	for _, c := range cases {
+		bad := baseReport()
+		c.mutate(bad)
+		got := regressions(compareReports(baseReport(), bad, tol))
+		if len(got) != 1 || got[0] != c.want {
+			t.Errorf("%s: flagged %v, want exactly [%s]", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompareWithinToleranceAndImprovementsPass(t *testing.T) {
+	better := baseReport()
+	better.Benchmarks[0].NsPerOp *= 1.2 // within 25%
+	better.Benchmarks[1].NsPerOp *= 0.5 // improvement
+	better.E2E[0].Seconds *= 1.25       // within 30%
+	better.E2E[2].OverlapFrac = 0.95    // improvement
+	better.E2E[1].Seconds *= 0.7        // improvement
+	ds := compareReports(baseReport(), better, defaultTolerances())
+	if r := regressions(ds); len(r) != 0 {
+		t.Errorf("tolerated/improved metrics flagged: %v", r)
+	}
+}
+
+// Entries present on only one side (renamed benchmarks, -skip-bench runs,
+// changed rank counts) must be skipped, not flagged.
+func TestCompareSkipsUnmatchedEntries(t *testing.T) {
+	newR := baseReport()
+	newR.Benchmarks = nil         // -skip-bench style run
+	newR.E2E[0].Ranks = 4         // config changed: not comparable
+	newR.E2E[1].Transport = "sim" // renamed: no old counterpart
+	newR.E2E[2].Seconds = 100     // the one comparable row, regressed
+	got := regressions(compareReports(baseReport(), newR, defaultTolerances()))
+	if len(got) != 1 || got[0] != "e2e tcp/stream seconds" {
+		t.Errorf("flagged %v, want exactly [e2e tcp/stream seconds]", got)
+	}
+}
+
+func TestWriteCompareVerdicts(t *testing.T) {
+	bad := baseReport()
+	bad.E2E[0].Seconds *= 2
+	ds := compareReports(baseReport(), bad, defaultTolerances())
+	var sb strings.Builder
+	if n := writeCompare(&sb, ds); n != 1 {
+		t.Errorf("regressed count = %d, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("output missing REGRESSION verdict:\n%s", sb.String())
+	}
+}

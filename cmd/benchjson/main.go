@@ -1,6 +1,12 @@
 // Command benchjson runs the streaming-exchange benchmark suite and writes
 // the results as one machine-readable JSON file (see `make bench-json`,
-// which produces BENCH_PR5.json at the repo root).
+// which produces BENCH_PR6.json at the repo root). With -compare it instead
+// diffs two such files and exits non-zero when any metric regressed beyond
+// tolerance — the perf gate behind `make bench-compare` and the CI warning
+// step:
+//
+//	benchjson -out BENCH_PR6.json          # run the suite
+//	benchjson -compare old.json new.json   # gate new against old
 //
 // Two measurement families go into the file:
 //
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"parlouvain"
+	"parlouvain/internal/buildinfo"
 	"parlouvain/internal/obs"
 	"parlouvain/internal/par"
 )
@@ -56,6 +63,7 @@ type e2eRun struct {
 
 type report struct {
 	GoVersion  string      `json:"go_version"`
+	Revision   string      `json:"revision,omitempty"`
 	Graph      string      `json:"graph"`
 	Benchmarks []benchLine `json:"benchmarks"`
 	E2E        []e2eRun    `json:"e2e"`
@@ -67,20 +75,43 @@ type report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	tol := defaultTolerances()
 	var (
-		out       = flag.String("out", "BENCH_PR5.json", "output JSON path")
-		benchTime = flag.String("benchtime", "200x", "-benchtime passed to go test")
-		n         = flag.Int("n", 20000, "e2e LFR graph size")
-		mu        = flag.Float64("mu", 0.3, "e2e LFR mixing parameter")
-		seed      = flag.Uint64("seed", 11, "e2e LFR seed")
-		ranks     = flag.Int("ranks", 2, "e2e rank count")
-		threads   = flag.Int("threads", 2, "e2e threads per rank")
-		skipBench = flag.Bool("skip-bench", false, "skip the go test -bench pass (e2e only)")
+		out        = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		benchTime  = flag.String("benchtime", "200x", "-benchtime passed to go test")
+		n          = flag.Int("n", 20000, "e2e LFR graph size")
+		mu         = flag.Float64("mu", 0.3, "e2e LFR mixing parameter")
+		seed       = flag.Uint64("seed", 11, "e2e LFR seed")
+		ranks      = flag.Int("ranks", 2, "e2e rank count")
+		threads    = flag.Int("threads", 2, "e2e threads per rank")
+		skipBench  = flag.Bool("skip-bench", false, "skip the go test -bench pass (e2e only)")
+		compare    = flag.Bool("compare", false, "compare two report files (old new) instead of benchmarking; exit 1 on regression")
+		tolNs      = flag.Float64("tol-ns", tol.NsPerOp, "-compare: allowed fractional ns/op increase")
+		tolBytes   = flag.Float64("tol-bytes", tol.Bytes, "-compare: allowed fractional B/op and allocs/op increase")
+		tolE2E     = flag.Float64("tol-e2e", tol.E2E, "-compare: allowed fractional e2e wall-clock increase")
+		tolOverlap = flag.Float64("tol-overlap", tol.Overlap, "-compare: allowed fractional overlap-fraction decrease")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("benchjson"))
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [tolerance flags] old.json new.json")
+			os.Exit(2)
+		}
+		tol = tolerances{NsPerOp: *tolNs, Bytes: *tolBytes, E2E: *tolE2E, Overlap: *tolOverlap}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), tol); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	rep := report{
 		GoVersion:     strings.TrimSpace(goVersion()),
+		Revision:      buildinfo.Revision(),
 		Graph:         fmt.Sprintf("LFR n=%d mu=%.2f seed=%d", *n, *mu, *seed),
 		StreamSpeedup: map[string]float64{},
 	}
@@ -186,7 +217,9 @@ func runGoBench(benchTime string) ([]benchLine, error) {
 // runE2E solves the graph once over the requested transport and exchange
 // mode, pulling traffic and overlap measurements from per-rank registries.
 func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode string) (e2eRun, error) {
-	streamChunk := 0 // default chunk size = streaming on
+	// Explicit modes on both sides: 0 now auto-selects per transport, which
+	// would silently collapse the small-mem "stream" row into a bulk run.
+	streamChunk := parlouvain.DefaultStreamChunk
 	if mode == "bulk" {
 		streamChunk = -1
 	}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"parlouvain/internal/buildinfo"
 	"parlouvain/internal/exp"
 )
 
@@ -24,7 +25,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	size := flag.Float64("size", 1.0, "workload size factor (1.0 = default scale)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("experiments"))
+		return
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-size F] <%s|all> [more...]\n",
 			strings.Join(exp.Names(), "|"))

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"parlouvain"
+	"parlouvain/internal/buildinfo"
 	"parlouvain/internal/gencli"
 )
 
@@ -23,11 +24,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gengraph: ")
 	var (
-		spec  = flag.String("spec", "", "generator spec (required); "+gencli.Usage)
-		out   = flag.String("o", "", "output graph path (required)")
-		truth = flag.String("truth", "", "optional path for the planted community assignment")
+		spec    = flag.String("spec", "", "generator spec (required); "+gencli.Usage)
+		out     = flag.String("o", "", "output graph path (required)")
+		truth   = flag.String("truth", "", "optional path for the planted community assignment")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("gengraph"))
+		return
+	}
 	if *spec == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "usage: gengraph -spec <spec> -o <path> [-truth <path>]")
 		fmt.Fprintln(os.Stderr, gencli.Usage)

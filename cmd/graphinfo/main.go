@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"parlouvain"
+	"parlouvain/internal/buildinfo"
 	"parlouvain/internal/gencli"
 	"parlouvain/internal/metrics"
 )
@@ -25,8 +26,13 @@ func main() {
 		hist    = flag.Bool("hist", false, "print the degree histogram (power-of-two bins)")
 		gcc     = flag.Bool("gcc", false, "estimate the global clustering coefficient")
 		genSpec = flag.String("gen", "", "generate the input instead of reading a file; "+gencli.Usage)
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("graphinfo"))
+		return
+	}
 
 	var el parlouvain.EdgeList
 	var err error

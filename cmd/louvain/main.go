@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"parlouvain"
+	"parlouvain/internal/buildinfo"
 	"parlouvain/internal/gencli"
+	"parlouvain/internal/obs"
 )
 
 func main() {
@@ -45,10 +47,17 @@ func main() {
 		refine    = flag.Bool("refine", false, "split internally disconnected communities afterwards (Leiden-style post-pass)")
 		check     = flag.Bool("check", false, "verify algorithm invariants after every level (mass conservation, rank agreement, Q monotonicity; parallel engine)")
 		traceF    = flag.String("trace", "", "write per-iteration telemetry events to this file as JSONL (parallel engine)")
-		streamSz  = flag.Int("stream-chunk", 65536, "streaming-exchange chunk size in bytes for the heavy phases; 0 disables streaming (bulk rounds)")
+		streamSz  = flag.Int("stream-chunk", 0, "streaming-exchange chunk size in bytes for the heavy phases; 0 picks per transport, negative disables streaming (bulk rounds)")
 		chromeF   = flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline to this file (load in chrome://tracing or Perfetto)")
+		report    = flag.Bool("report", false, "print a per-phase run report (time share, imbalance, wire traffic) after the run (parallel engine)")
+		metricsF  = flag.String("metrics-out", "", "write a final Prometheus text-format metrics snapshot to this file")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("louvain"))
+		return
+	}
 
 	var el parlouvain.EdgeList
 	var err error
@@ -76,9 +85,14 @@ func main() {
 		StreamChunk:     streamChunkOption(*streamSz),
 	}
 	var rec *parlouvain.Recorder
-	if *traceF != "" || *chromeF != "" {
+	if *traceF != "" || *chromeF != "" || *report {
 		rec = parlouvain.NewRecorder()
 		opt.Recorder = rec
+	}
+	var reg *parlouvain.MetricsRegistry
+	if *metricsF != "" {
+		reg = parlouvain.NewMetricsRegistry()
+		opt.Metrics = reg
 	}
 	if *warmPath != "" {
 		prev, err := parlouvain.LoadPartition(*warmPath)
@@ -175,14 +189,30 @@ func main() {
 		if *chromeF != "" {
 			fmt.Printf("chrome trace written to %s\n", *chromeF)
 		}
+		if *report {
+			if err := obs.WriteRunReport(os.Stdout, rec.Events()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.WritePrometheus(f)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsF)
 	}
 }
 
 // streamChunkOption maps the -stream-chunk flag to Options.StreamChunk:
-// 0 on the command line means "bulk mode", which the library encodes as a
-// negative value (its own zero selects the default chunk size).
+// 0 means "pick per transport" (the library auto-selects bulk or streaming
+// from the group's transport kind and size), negative forces bulk mode.
 func streamChunkOption(flagVal int) int {
-	if flagVal <= 0 {
+	if flagVal < 0 {
 		return -1
 	}
 	return flagVal

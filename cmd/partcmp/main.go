@@ -13,12 +13,18 @@ import (
 	"os"
 
 	"parlouvain"
+	"parlouvain/internal/buildinfo"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("partcmp: ")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("partcmp"))
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: partcmp <assignment-a> <assignment-b>")
 		os.Exit(2)

@@ -1,0 +1,58 @@
+// Package buildinfo reports the VCS identity baked into the binary by the
+// Go toolchain. All CLIs expose it through -version, and the debug server
+// includes the revision in /healthz, so a dashboard scraping a mesh can
+// tell at a glance whether every rank runs the same build.
+//
+// No linker flags are required: `go build` stamps vcs.revision and
+// vcs.modified automatically whenever the module is built from a git
+// checkout. Binaries built from an exported tarball (or via `go test`)
+// report "unknown" instead of failing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// readBuildInfo is swapped out by tests.
+var readBuildInfo = debug.ReadBuildInfo
+
+// Revision returns the abbreviated VCS revision the binary was built from,
+// with a "-dirty" suffix when the working tree had local modifications,
+// or "unknown" when no VCS stamp is available.
+func Revision() string {
+	bi, ok := readBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	return revisionFrom(bi)
+}
+
+func revisionFrom(bi *debug.BuildInfo) string {
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Version returns the one-line -version string for the named CLI:
+// the tool name, VCS revision, and the Go toolchain that built it.
+func Version(name string) string {
+	return fmt.Sprintf("%s %s (%s)", name, Revision(), runtime.Version())
+}

@@ -1,0 +1,51 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	old := readBuildInfo
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { readBuildInfo = old })
+}
+
+func settings(kv ...string) *debug.BuildInfo {
+	bi := &debug.BuildInfo{}
+	for i := 0; i < len(kv); i += 2 {
+		bi.Settings = append(bi.Settings, debug.BuildSetting{Key: kv[i], Value: kv[i+1]})
+	}
+	return bi
+}
+
+func TestRevision(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		ok   bool
+		want string
+	}{
+		{"no build info", nil, false, "unknown"},
+		{"no vcs stamp", settings("GOOS", "linux"), true, "unknown"},
+		{"clean", settings("vcs.revision", "0123456789abcdef0123", "vcs.modified", "false"), true, "0123456789ab"},
+		{"dirty", settings("vcs.revision", "0123456789abcdef0123", "vcs.modified", "true"), true, "0123456789ab-dirty"},
+		{"short revision", settings("vcs.revision", "abc123"), true, "abc123"},
+	}
+	for _, c := range cases {
+		withInfo(t, c.bi, c.ok)
+		if got := Revision(); got != c.want {
+			t.Errorf("%s: Revision() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestVersion(t *testing.T) {
+	withInfo(t, settings("vcs.revision", "0123456789abcdef0123", "vcs.modified", "false"), true)
+	v := Version("louvaind")
+	if !strings.HasPrefix(v, "louvaind 0123456789ab (go") {
+		t.Errorf("Version() = %q", v)
+	}
+}

@@ -69,8 +69,9 @@ type ChaosConfig struct {
 
 	// Metrics, when non-nil, registers live fault counters:
 	// chaos_delays_total, chaos_retries_total, chaos_resets_total,
-	// chaos_dup_deliveries_total, chaos_failures_total, and the
-	// chaos_injected_delay_seconds / chaos_retries_per_round histograms.
+	// chaos_dup_deliveries_total, chaos_failures_total,
+	// chaos_telemetry_drops_total, and the chaos_injected_delay_seconds /
+	// chaos_retries_per_round histograms.
 	Metrics *obs.Registry
 }
 
@@ -82,6 +83,7 @@ type ChaosStats struct {
 	Resets   uint64 // the subset of retries accounted as connection resets
 	Dups     uint64 // duplicate delivery attempts absorbed
 	Failures uint64 // rounds abandoned after exhausting MaxRetries
+	TelDrops uint64 // telemetry payloads dropped after exhausting retries
 }
 
 type chaosTransport struct {
@@ -99,11 +101,11 @@ type chaosTransport struct {
 	retries   int
 	closed    atomic.Bool
 
-	nRounds, nDelays, nRetries, nResets, nDups, nFailures atomic.Uint64
+	nRounds, nDelays, nRetries, nResets, nDups, nFailures, nTelDrops atomic.Uint64
 
 	// Optional registry mirrors (nil when Metrics is unset).
-	cDelays, cRetries, cResets, cDups, cFailures *obs.Counter
-	hDelay, hRetries                             *obs.Histogram
+	cDelays, cRetries, cResets, cDups, cFailures, cTelDrops *obs.Counter
+	hDelay, hRetries                                        *obs.Histogram
 }
 
 // NewChaos wraps inner with the fault injector described by cfg. When inner
@@ -141,6 +143,7 @@ func NewChaos(inner Transport, cfg ChaosConfig) Transport {
 		t.cResets = reg.Counter("chaos_resets_total")
 		t.cDups = reg.Counter("chaos_dup_deliveries_total")
 		t.cFailures = reg.Counter("chaos_failures_total")
+		t.cTelDrops = reg.Counter("chaos_telemetry_drops_total")
 		t.hDelay = reg.Histogram("chaos_injected_delay_seconds", obs.LatencyBuckets)
 		t.hRetries = reg.Histogram("chaos_retries_per_round", obs.CountBuckets)
 	}
@@ -170,7 +173,17 @@ func (t *chaosTransport) stats() ChaosStats {
 		Resets:   t.nResets.Load(),
 		Dups:     t.nDups.Load(),
 		Failures: t.nFailures.Load(),
+		TelDrops: t.nTelDrops.Load(),
 	}
+}
+
+// TransportKind implements Kinded by forwarding to the wrapped transport —
+// chaos perturbs timing, not the transport family policy keys off.
+func (t *chaosTransport) TransportKind() string {
+	if k, ok := t.inner.(Kinded); ok {
+		return k.TransportKind()
+	}
+	return "unknown"
 }
 
 func (t *chaosTransport) Rank() int { return t.inner.Rank() }
@@ -460,6 +473,95 @@ func (cs *chaosStream) fail(err error) {
 	}
 	cs.mu.Unlock()
 }
+
+// OpenTelemetry implements Telemeter with best-effort fault injection on
+// the out-of-band path: injected delays and transient faults may drop a
+// payload (counted, never fatal — the mesh must outlive a dead telemetry
+// plane), and duplicate-delivery injection re-sends the payload so the
+// collector's sequence dedup gets exercised. Draws come from a keyed stream
+// (site 3): telemetry sends happen on publisher goroutines concurrent with
+// the main round loop, so the sequential schedule of the collective fault
+// sites must not observe them.
+func (t *chaosTransport) OpenTelemetry() (TelemetryConn, error) {
+	tm, ok := t.inner.(Telemeter)
+	if !ok {
+		return nil, ErrTelemetryUnsupported
+	}
+	inner, err := tm.OpenTelemetry()
+	if err != nil {
+		return nil, err
+	}
+	return &chaosTelConn{t: t, inner: inner}, nil
+}
+
+type chaosTelConn struct {
+	t     *chaosTransport
+	inner TelemetryConn
+	seq   atomic.Uint64
+}
+
+func (c *chaosTelConn) Send(p []byte) error {
+	t := c.t
+	if t.closed.Load() {
+		return fmt.Errorf("comm: chaos rank %d: %w", t.rank, ErrClosed)
+	}
+	rng := t.keyedRNG(3, c.seq.Add(1), 0, p)
+	if t.cfg.DelayProb > 0 && rng.float() < t.cfg.DelayProb {
+		t.sleep(time.Duration(1 + rng.next()%uint64(t.maxDelay)))
+	}
+	// Transient faults with the usual retry budget — but exhaustion drops
+	// the payload instead of tearing the group down: monitoring loss is
+	// acceptable, a deadlocked algorithm is not.
+	if prob := t.cfg.ErrProb + t.cfg.ResetProb; prob > 0 {
+		backoff := t.backoff0
+		attempts := 0
+		for {
+			draw := rng.float()
+			if draw >= prob {
+				break
+			}
+			attempts++
+			if draw < t.cfg.ResetProb {
+				t.nResets.Add(1)
+				if t.cResets != nil {
+					t.cResets.Inc()
+				}
+			}
+			if attempts > t.retries {
+				t.nTelDrops.Add(1)
+				if t.cTelDrops != nil {
+					t.cTelDrops.Inc()
+				}
+				return ErrTelemetryDropped
+			}
+			t.nRetries.Add(1)
+			if t.cRetries != nil {
+				t.cRetries.Inc()
+			}
+			time.Sleep(backoff + time.Duration(rng.next()%uint64(backoff/2+1)))
+			if backoff < 8*time.Millisecond {
+				backoff *= 2
+			}
+		}
+	}
+	if err := c.inner.Send(p); err != nil {
+		return err
+	}
+	if t.cfg.DupProb > 0 && rng.float() < t.cfg.DupProb {
+		t.nDups.Add(1)
+		if t.cDups != nil {
+			t.cDups.Inc()
+		}
+		// At-least-once delivery: the duplicate carries identical bytes, so
+		// the collector must dedup by (rank, seq), not count on
+		// exactly-once transport semantics.
+		_ = c.inner.Send(p)
+	}
+	return nil
+}
+
+func (c *chaosTelConn) Recv() <-chan []byte { return c.inner.Recv() }
+func (c *chaosTelConn) Close() error        { return c.inner.Close() }
 
 // chaosSimTransport augments the wrapper with the simulated-clock surface of
 // its inner transport, so chaos-wrapped SimGroup members still expose SimNow

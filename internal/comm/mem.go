@@ -23,6 +23,10 @@ type memHub struct {
 	// blocks until the receiver's pump drains, which it always does.
 	smail [][]chan []byte
 
+	// tel is the out-of-band telemetry queue (see telemetry.go): any rank
+	// enqueues, rank 0 drains.
+	tel *telHub
+
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -44,6 +48,7 @@ func NewMemGroup(size int) []Transport {
 		size:  size,
 		mail:  make([][]chan []byte, size),
 		smail: make([][]chan []byte, size),
+		tel:   newTelHub(),
 		done:  make(chan struct{}),
 	}
 	for d := 0; d < size; d++ {
@@ -101,9 +106,28 @@ func (t *memTransport) Exchange(out [][]byte) ([][]byte, error) {
 }
 
 func (t *memTransport) Close() error {
-	t.hub.closeOnce.Do(func() { close(t.hub.done) })
+	t.hub.closeOnce.Do(func() {
+		close(t.hub.done)
+		t.hub.tel.close()
+	})
 	return nil
 }
+
+// TransportKind implements Kinded.
+func (t *memTransport) TransportKind() string { return "mem" }
+
+// OpenTelemetry implements Telemeter: payloads flow through the hub's
+// shared queue; rank 0's handle carries the receive side.
+func (t *memTransport) OpenTelemetry() (TelemetryConn, error) {
+	select {
+	case <-t.hub.done:
+		return nil, ErrClosed
+	default:
+	}
+	return &telConn{hub: t.hub.tel, recv: t.rank == 0}, nil
+}
+
+func (t *memTransport) telemetryDrops() uint64 { return t.hub.tel.Drops() }
 
 // OpenStream implements Streamer: one pump goroutine per source forwards
 // chunks from the hub's stream channels until the source's end-of-round

@@ -56,6 +56,7 @@ func SimGroup(size int, model CostModel) []Transport {
 	hub := &simHub{
 		size:            size,
 		model:           model,
+		tel:             newTelHub(),
 		resume:          make([]chan error, size),
 		staged:          make([][][]byte, size),
 		delivered:       make([][][]byte, size),
@@ -88,6 +89,7 @@ type simHub struct {
 	mu    sync.Mutex
 	size  int
 	model CostModel
+	tel   *telHub // out-of-band telemetry queue (see telemetry.go)
 
 	resume    []chan error
 	staged    [][][]byte // staged[src][dst], this round's outgoing planes
@@ -192,6 +194,13 @@ func (t *simTransport) Close() error {
 		return nil
 	}
 	h.done[t.rank] = true
+	allDone := true
+	for _, d := range h.done {
+		allDone = allDone && d
+	}
+	if allDone {
+		h.tel.close()
+	}
 	if h.running == t.rank {
 		if seg := time.Since(h.sliceStart); seg > h.roundMaxSegment {
 			h.roundMaxSegment = seg
@@ -200,6 +209,27 @@ func (t *simTransport) Close() error {
 	}
 	return nil
 }
+
+// TransportKind implements Kinded.
+func (t *simTransport) TransportKind() string { return "sim" }
+
+// OpenTelemetry implements Telemeter. Telemetry flows outside the
+// serialized-rank protocol: enqueueing is just a channel send, so a rank
+// may push while another holds the simulated CPU, and the rank-0 collector
+// goroutine drains whenever the Go scheduler runs it. The simulated clock
+// charges nothing for telemetry — it is monitoring, not algorithm traffic.
+func (t *simTransport) OpenTelemetry() (TelemetryConn, error) {
+	h := t.hub
+	h.mu.Lock()
+	dead := h.done[t.rank]
+	h.mu.Unlock()
+	if dead {
+		return nil, ErrClosed
+	}
+	return &telConn{hub: h.tel, recv: t.rank == 0}, nil
+}
+
+func (t *simTransport) telemetryDrops() uint64 { return t.hub.tel.Drops() }
 
 // OpenStream implements Streamer under the serialized-rank protocol: Send
 // stages pooled chunk copies locally (the rank holds the CPU, so nothing

@@ -44,9 +44,17 @@ type tcpTransport struct {
 	roundTimeout time.Duration
 	rounds       atomic.Uint64
 
+	// Telemetry channel state: addr0 is rank 0's listen address (dialed
+	// lazily by OpenTelemetry on non-zero ranks), tel the rank-0 delivery
+	// queue, telConns the live telemetry sockets (both directions) so Close
+	// can tear them down.
+	addr0    string
+	tel      *telHub
+	telConns map[net.Conn]struct{}
+
 	closed    atomic.Bool
 	closeOnce sync.Once
-	connMu    sync.Mutex // guards inConns writes during setup vs Close
+	connMu    sync.Mutex // guards inConns/telConns writes during setup vs Close
 }
 
 // Handshake framing: every dialer opens with a fixed 24-byte hello —
@@ -54,11 +62,30 @@ type tcpTransport struct {
 // answers one ack byte after validating all four fields. Mismatched
 // versions, sizes or duplicate ranks are detected at setup, not as frame
 // corruption mid-run.
+//
+// Version 3 adds the out-of-band telemetry channel: a connection whose
+// hello sets the high bit of the rank field is a telemetry feed into rank
+// 0, not a mesh edge. Telemetry connections are dialed lazily (at
+// OpenTelemetry), so rank 0's accept loop stays up for the life of the
+// transport instead of exiting after mesh setup.
 const (
 	tcpMagic        = 0x504C564D // "PLVM"
-	tcpProtoVersion = 2
+	tcpProtoVersion = 3
 	tcpHelloLen     = 24
 	tcpHelloAck     = 0xA5
+
+	// tcpTelemetryFlag marks the hello's rank field as a telemetry
+	// connection from that rank. Real ranks are far below 2^63.
+	tcpTelemetryFlag = uint64(1) << 63
+
+	// tcpTelemetryMaxFrame caps one telemetry frame; batches are a few KiB,
+	// so anything near the cap is corruption, not load.
+	tcpTelemetryMaxFrame = 1 << 24
+
+	// tcpTelemetryIOTimeout bounds post-setup telemetry handshakes and
+	// sends, converting a wedged collector connection into a local error on
+	// the best-effort path instead of a goroutine leak.
+	tcpTelemetryIOTimeout = 10 * time.Second
 )
 
 // TCPConfig configures a TCP rank group.
@@ -110,6 +137,9 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 		inConns:      make([]net.Conn, size),
 		inBufs:       make([]*bufio.Reader, size),
 		roundTimeout: cfg.RoundTimeout,
+		addr0:        cfg.Addrs[0],
+		tel:          newTelHub(),
+		telConns:     map[net.Conn]struct{}{},
 	}
 	if size == 1 {
 		return t, nil
@@ -122,27 +152,61 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 	t.ln = ln
 
 	// Accept incoming connections concurrently with dialing out. Every
-	// accepted connection must present a valid hello before the deadline.
+	// accepted connection must present a valid hello; during mesh setup a
+	// bad hello is fatal for the group, afterwards the loop stays resident
+	// for lazily-dialed telemetry connections and merely drops bad ones.
 	acceptErr := make(chan error, 1)
 	go func() {
-		for n := 0; n < size-1; n++ {
+		meshN := 0
+		meshDone := false
+		for {
 			conn, err := ln.Accept()
 			if err != nil {
-				acceptErr <- err
-				return
+				if !meshDone {
+					acceptErr <- err
+				}
+				return // listener closed: transport shutting down
 			}
-			src, err := t.acceptHello(conn, deadline)
+			helloBy := deadline
+			if meshDone {
+				helloBy = time.Now().Add(tcpTelemetryIOTimeout)
+			}
+			src, isTel, err := t.acceptHello(conn, helloBy)
 			if err != nil {
 				conn.Close()
-				acceptErr <- err
-				return
+				if !meshDone {
+					acceptErr <- err
+					return
+				}
+				continue
+			}
+			if isTel {
+				_ = src // telemetry frames are self-attributed (batch header)
+				t.connMu.Lock()
+				if t.closed.Load() {
+					t.connMu.Unlock()
+					conn.Close()
+					continue
+				}
+				t.telConns[conn] = struct{}{}
+				t.connMu.Unlock()
+				go t.serveTelemetry(conn)
+				continue
+			}
+			if meshDone {
+				conn.Close() // late mesh hello: not part of this group's setup
+				continue
 			}
 			t.connMu.Lock()
 			t.inConns[src] = conn
 			t.connMu.Unlock()
 			t.inBufs[src] = bufio.NewReaderSize(conn, 1<<16)
+			meshN++
+			if meshN == size-1 {
+				meshDone = true
+				acceptErr <- nil
+			}
 		}
-		acceptErr <- nil
 	}()
 
 	// Dial every peer with exponential backoff + jitter until it is
@@ -232,42 +296,193 @@ func (t *tcpTransport) dialHello(conn net.Conn, dst int, deadline time.Time) err
 }
 
 // acceptHello validates an inbound handshake and acknowledges it, returning
-// the verified peer rank.
-func (t *tcpTransport) acceptHello(conn net.Conn, deadline time.Time) (int, error) {
+// the verified peer rank and whether the connection is a telemetry feed
+// (high bit of the rank field) rather than a mesh edge.
+func (t *tcpTransport) acceptHello(conn net.Conn, deadline time.Time) (int, bool, error) {
 	conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 	var hello [tcpHelloLen]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
-		return 0, fmt.Errorf("comm: rank %d reading hello: %w", t.rank, err)
+		return 0, false, fmt.Errorf("comm: rank %d reading hello: %w", t.rank, err)
 	}
 	if magic := binary.LittleEndian.Uint32(hello[0:]); magic != tcpMagic {
-		return 0, fmt.Errorf("comm: rank %d: bad hello magic 0x%08x (not a parlouvain peer?)", t.rank, magic)
+		return 0, false, fmt.Errorf("comm: rank %d: bad hello magic 0x%08x (not a parlouvain peer?)", t.rank, magic)
 	}
 	if v := binary.LittleEndian.Uint32(hello[4:]); v != tcpProtoVersion {
-		return 0, fmt.Errorf("comm: rank %d: peer speaks protocol version %d, want %d", t.rank, v, tcpProtoVersion)
+		return 0, false, fmt.Errorf("comm: rank %d: peer speaks protocol version %d, want %d", t.rank, v, tcpProtoVersion)
 	}
-	src := int(binary.LittleEndian.Uint64(hello[8:]))
+	rankField := binary.LittleEndian.Uint64(hello[8:])
+	isTel := rankField&tcpTelemetryFlag != 0
+	src := int(rankField &^ tcpTelemetryFlag)
 	peerSize := int(binary.LittleEndian.Uint64(hello[16:]))
 	if peerSize != t.size {
-		return 0, fmt.Errorf("comm: rank %d: peer rank %d configured for %d ranks, this group has %d", t.rank, src, peerSize, t.size)
+		return 0, false, fmt.Errorf("comm: rank %d: peer rank %d configured for %d ranks, this group has %d", t.rank, src, peerSize, t.size)
 	}
-	if src < 0 || src >= t.size || src == t.rank {
-		return 0, fmt.Errorf("comm: rank %d: invalid hello rank %d", t.rank, src)
-	}
-	t.connMu.Lock()
-	dup := t.inConns[src] != nil
-	t.connMu.Unlock()
-	if dup {
-		return 0, fmt.Errorf("comm: rank %d: duplicate hello from rank %d", t.rank, src)
+	if isTel {
+		if t.rank != 0 {
+			return 0, false, fmt.Errorf("comm: rank %d: telemetry hello from rank %d, but only rank 0 collects", t.rank, src)
+		}
+		if src < 0 || src >= t.size {
+			return 0, false, fmt.Errorf("comm: rank %d: invalid telemetry hello rank %d", t.rank, src)
+		}
+	} else {
+		if src < 0 || src >= t.size || src == t.rank {
+			return 0, false, fmt.Errorf("comm: rank %d: invalid hello rank %d", t.rank, src)
+		}
+		t.connMu.Lock()
+		dup := t.inConns[src] != nil
+		t.connMu.Unlock()
+		if dup {
+			return 0, false, fmt.Errorf("comm: rank %d: duplicate hello from rank %d", t.rank, src)
+		}
 	}
 	if _, err := conn.Write([]byte{tcpHelloAck}); err != nil {
-		return 0, fmt.Errorf("comm: rank %d acking hello from rank %d: %w", t.rank, src, err)
+		return 0, false, fmt.Errorf("comm: rank %d acking hello from rank %d: %w", t.rank, src, err)
 	}
-	return src, nil
+	return src, isTel, nil
+}
+
+// serveTelemetry pumps length-framed telemetry payloads from one accepted
+// connection into the rank-0 delivery queue until the connection or the
+// transport closes. Errors just end the feed — telemetry is best-effort.
+func (t *tcpTransport) serveTelemetry(conn net.Conn) {
+	defer func() {
+		t.connMu.Lock()
+		delete(t.telConns, conn)
+		t.connMu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<14)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > tcpTelemetryMaxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		// Best-effort: drop-on-full is counted by the hub.
+		_ = t.tel.deliver(buf)
+	}
 }
 
 func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
+
+// TransportKind implements Kinded.
+func (t *tcpTransport) TransportKind() string { return "tcp" }
+
+func (t *tcpTransport) telemetryDrops() uint64 { return t.tel.Drops() }
+
+// OpenTelemetry implements Telemeter. Rank 0's handle is a loopback into
+// its own delivery queue; every other rank lazily dials a dedicated
+// telemetry connection to rank 0 (flagged in the hello), separate from the
+// mesh so monitoring traffic can never interleave with round frames.
+func (t *tcpTransport) OpenTelemetry() (TelemetryConn, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("comm: rank %d: %w", t.rank, ErrClosed)
+	}
+	if t.rank == 0 {
+		return &telConn{hub: t.tel, recv: true}, nil
+	}
+	deadline := time.Now().Add(tcpTelemetryIOTimeout)
+	conn, err := net.DialTimeout("tcp", t.addr0, time.Until(deadline))
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d dialing telemetry to rank 0 (%s): %w", t.rank, t.addr0, err)
+	}
+	conn.SetDeadline(deadline)
+	var hello [tcpHelloLen]byte
+	binary.LittleEndian.PutUint32(hello[0:], tcpMagic)
+	binary.LittleEndian.PutUint32(hello[4:], tcpProtoVersion)
+	binary.LittleEndian.PutUint64(hello[8:], uint64(t.rank)|tcpTelemetryFlag)
+	binary.LittleEndian.PutUint64(hello[16:], uint64(t.size))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("comm: rank %d telemetry hello: %w", t.rank, err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("comm: rank %d awaiting telemetry ack: %w", t.rank, err)
+	}
+	if ack[0] != tcpHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("comm: rank %d: rank 0 rejected telemetry handshake (ack 0x%02x)", t.rank, ack[0])
+	}
+	conn.SetDeadline(time.Time{})
+	t.connMu.Lock()
+	if t.closed.Load() {
+		t.connMu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("comm: rank %d: %w", t.rank, ErrClosed)
+	}
+	t.telConns[conn] = struct{}{}
+	t.connMu.Unlock()
+	return &tcpTelConn{t: t, conn: conn, bw: bufio.NewWriterSize(conn, 1<<14)}, nil
+}
+
+// tcpTelConn is the send side of a dialed telemetry connection.
+type tcpTelConn struct {
+	t    *tcpTransport
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *tcpTelConn) Send(p []byte) error {
+	if len(p) > tcpTelemetryMaxFrame {
+		return fmt.Errorf("comm: telemetry payload of %d bytes exceeds frame cap %d", len(p), tcpTelemetryMaxFrame)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.t.closed.Load() {
+		return fmt.Errorf("comm: rank %d: %w", c.t.rank, ErrClosed)
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(tcpTelemetryIOTimeout))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+	_, err := c.bw.Write(hdr[:])
+	if err == nil {
+		_, err = c.bw.Write(p)
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		// A dead telemetry path never affects the mesh: close this
+		// connection and report the send as a local, best-effort failure.
+		c.closeLocked()
+		return fmt.Errorf("comm: rank %d telemetry send: %w", c.t.rank, err)
+	}
+	return nil
+}
+
+func (c *tcpTelConn) Recv() <-chan []byte { return nil }
+
+func (c *tcpTelConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+	return nil
+}
+
+func (c *tcpTelConn) closeLocked() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.t.connMu.Lock()
+	delete(c.t.telConns, c.conn)
+	c.t.connMu.Unlock()
+	c.conn.Close()
+}
 
 func (t *tcpTransport) Exchange(out [][]byte) ([][]byte, error) {
 	if t.closed.Load() {
@@ -398,7 +613,13 @@ func (t *tcpTransport) Close() error {
 				c.Close()
 			}
 		}
+		for c := range t.telConns {
+			c.Close()
+		}
 		t.connMu.Unlock()
+		if t.tel != nil {
+			t.tel.close()
+		}
 	})
 	return nil
 }

@@ -30,7 +30,7 @@ func BenchmarkExchangeAllocs(b *testing.B) {
 		chunk int
 	}{
 		{"bulk", -1},
-		{"stream", 0},
+		{"stream", DefaultStreamChunk},
 	}
 	for _, mode := range modes {
 		for _, ranks := range []int{1, 2} {

@@ -68,7 +68,7 @@ func BenchmarkStreamOverlap(b *testing.B) {
 		chunk int
 	}{
 		{"bulk", -1},
-		{"stream", 0},
+		{"stream", DefaultStreamChunk},
 	}
 
 	for _, tp := range transports {

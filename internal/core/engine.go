@@ -163,6 +163,7 @@ type engine struct {
 }
 
 func newEngine(c *comm.Comm, n int, opt Options) *engine {
+	opt.StreamChunk = ResolveStreamChunk(opt.StreamChunk, c.TransportKind(), c.Size())
 	part := graph.Partition{Rank: c.Rank(), Size: c.Size()}
 	nLoc := part.MaxLocalCount(n)
 	s := &engine{
@@ -230,6 +231,20 @@ func newEngine(c *comm.Comm, n int, opt Options) *engine {
 		s.mActive = reg.Gauge("louvain_active_vertices")
 		s.mMoves = reg.Counter("louvain_moves_total")
 		s.mIters = reg.Counter("louvain_iterations_total")
+		reg.Gauge("louvain_stream_chunk_bytes").Set(float64(opt.StreamChunk))
+		reg.SetHelp("louvain_stream_chunk_bytes", "resolved scatter exchange mode: chunk size in bytes, -1 for bulk rounds")
+	}
+	if s.rec != nil {
+		// A zero-duration config marker pinning the resolved exchange mode
+		// (and the inputs of the automatic choice) into the event stream.
+		s.rec.Emit(obs.Event{
+			Name: "config", Rank: part.Rank, TS: s.rec.Now(),
+			Fields: map[string]float64{
+				"stream_chunk": float64(opt.StreamChunk),
+				"ranks":        float64(c.Size()),
+				"threads":      float64(opt.Threads),
+			},
+		})
 	}
 	return s
 }
@@ -317,6 +332,7 @@ func (s *engine) run() (*Result, error) {
 	}
 
 	qLevelPrev := math.Inf(-1)
+	prevBytes, prevRounds := s.c.BytesSent(), s.c.Rounds()
 	for level := 0; level < s.opt.MaxLevels; level++ {
 		refineStart := time.Now()
 		tsLevel := s.now()
@@ -383,6 +399,10 @@ func (s *engine) run() (*Result, error) {
 				return nil, err
 			}
 		}
+		// This rank's wire traffic attributable to the level just finished.
+		nowBytes, nowRounds := s.c.BytesSent(), s.c.Rounds()
+		levelBytes, levelRounds := nowBytes-prevBytes, nowRounds-prevRounds
+		prevBytes, prevRounds = nowBytes, nowRounds
 		if s.rec != nil {
 			s.rec.Emit(obs.Event{
 				Name: "level", Rank: s.part.Rank, Level: level,
@@ -392,6 +412,8 @@ func (s *engine) run() (*Result, error) {
 					"vertices":         float64(vertices),
 					"communities":      float64(communities),
 					"inner_iterations": float64(len(movesPerIter)),
+					"comm_bytes":       float64(levelBytes),
+					"comm_rounds":      float64(levelRounds),
 					"recon_us":         float64(dRecon.Microseconds()),
 					"in_entries":       float64(inStats.Entries),
 					"in_slots":         float64(inStats.Slots),

@@ -90,14 +90,16 @@ type Options struct {
 	TableLayout edgetable.Layout
 
 	// StreamChunk selects the exchange mode of the heavy scatter phases
-	// (full propagation, delta propagation, reconstruction): 0 streams
-	// with DefaultStreamChunk-sized chunks, a positive value streams with
-	// that chunk size in bytes, and a negative value restores the bulk
-	// single-Exchange rounds. Streaming overlaps plane building, transfer
-	// and merging; results are bit-identical in every mode. Every rank of
-	// a group must set it identically (the modes frame rounds
-	// differently). Exposed as -stream-chunk on cmd/louvain and
-	// cmd/louvaind.
+	// (full propagation, delta propagation, reconstruction): 0 picks
+	// automatically from the transport (see ResolveStreamChunk), a
+	// positive value streams with that chunk size in bytes, and a
+	// negative value forces the bulk single-Exchange rounds. Streaming
+	// overlaps plane building, transfer and merging; results are
+	// bit-identical in every mode. Every rank of a group must set it
+	// identically (the modes frame rounds differently; the automatic
+	// choice is a pure function of the group's transport kind and size,
+	// so it agrees across ranks). Exposed as -stream-chunk on cmd/louvain
+	// and cmd/louvaind.
 	StreamChunk int
 
 	// CollectLevels, when true, gathers the per-level membership of every
@@ -169,10 +171,31 @@ func (o Options) withDefaults() Options {
 	if o.Epsilon == nil {
 		o.Epsilon = DefaultEpsilon()
 	}
-	if o.StreamChunk == 0 {
-		o.StreamChunk = DefaultStreamChunk
-	}
 	return o
+}
+
+// autoBulkMaxRanks bounds the group sizes for which the automatic exchange
+// mode prefers bulk rounds on the in-process transport: the PR5 benchmark
+// baseline (BENCH_PR5.json) measured mem-transport streaming ~9% slower
+// end-to-end at 2 ranks — chunk framing and collation overhead with no
+// network transfer to hide — while TCP gains from the overlap at every
+// size.
+const autoBulkMaxRanks = 4
+
+// ResolveStreamChunk maps Options.StreamChunk to the concrete exchange mode
+// for a group of the given transport kind ("mem", "tcp", "sim", ...) and
+// size. Explicit settings pass through; 0 selects bulk (-1) on small
+// in-process groups and DefaultStreamChunk-sized streaming everywhere else.
+// The result depends only on the arguments, so every rank of a group
+// resolves the same mode.
+func ResolveStreamChunk(chunk int, transportKind string, ranks int) int {
+	if chunk != 0 {
+		return chunk
+	}
+	if transportKind == "mem" && ranks <= autoBulkMaxRanks {
+		return -1
+	}
+	return DefaultStreamChunk
 }
 
 // Level records one outer iteration's outcome.

@@ -26,7 +26,7 @@ var streamModes = []struct {
 	{"bulk", -1},
 	{"chunk=64", 64},
 	{"chunk=1024", 1024},
-	{"chunk=default", 0},
+	{"chunk=default", DefaultStreamChunk},
 }
 
 // sameResult fails the test unless a and b are bit-identical in every

@@ -53,7 +53,7 @@ func TestParallelTelemetryEvents(t *testing.T) {
 			}
 		case "level":
 			levelEvents++
-			for _, f := range []string{"q", "vertices", "communities", "in_entries", "in_load_factor", "in_avg_bin_len", "in_mean_probe"} {
+			for _, f := range []string{"q", "vertices", "communities", "comm_bytes", "comm_rounds", "in_entries", "in_load_factor", "in_avg_bin_len", "in_mean_probe"} {
 				if _, ok := e.Fields[f]; !ok {
 					t.Fatalf("level event missing field %q: %+v", f, e)
 				}
@@ -78,6 +78,30 @@ func TestParallelTelemetryEvents(t *testing.T) {
 	}
 	if phaseEvents == 0 {
 		t.Error("no phase events recorded")
+	}
+
+	// Each rank pins its resolved exchange mode in a config marker; the
+	// 3-rank mem group auto-selects bulk mode (-1).
+	configs := 0
+	for _, e := range rec.Events() {
+		if e.Name != "config" {
+			continue
+		}
+		configs++
+		if e.Fields["stream_chunk"] != -1 || e.Fields["ranks"] != ranks {
+			t.Errorf("config event fields = %v, want stream_chunk=-1 ranks=%d", e.Fields, ranks)
+		}
+	}
+	if configs != ranks {
+		t.Errorf("config events = %d, want %d", configs, ranks)
+	}
+
+	// Level events carry per-rank wire-traffic deltas that sum (per rank) to
+	// the run totals; a multi-rank level 0 cannot be traffic-free.
+	for _, e := range rec.Events() {
+		if e.Name == "level" && e.Level == 0 && e.Fields["comm_bytes"] <= 0 {
+			t.Errorf("level 0 event reports no traffic: %+v", e)
+		}
 	}
 
 	// q_best is monotone non-decreasing within each level (it tracks the

@@ -53,8 +53,8 @@ var nameOrder = map[string]int{
 // collectGoldenTrace runs a fixed-seed 2-rank detection with one recorder
 // per rank and returns the normalized, deterministically ordered event
 // stream. streamChunk is passed through to Options.StreamChunk so the trace
-// can be collected in both streaming (0 = default) and bulk (-1) exchange
-// modes — the stream must be identical either way.
+// can be collected in streaming (DefaultStreamChunk), bulk (-1), and
+// auto-selected (0) exchange modes — the stream must be identical in all.
 func collectGoldenTrace(t *testing.T, streamChunk int) []goldenEvent {
 	t.Helper()
 	const (
@@ -210,7 +210,7 @@ func TestGoldenTraceDeterministic(t *testing.T) {
 // (StreamChunk=-1) must emit the exact event stream of the default streaming
 // run, moved counts and modularity values included.
 func TestGoldenTraceBulkMatchesStreaming(t *testing.T) {
-	stream := collectGoldenTrace(t, 0)
+	stream := collectGoldenTrace(t, DefaultStreamChunk)
 	bulk := collectGoldenTrace(t, -1)
 	if len(stream) != len(bulk) {
 		t.Fatalf("event counts differ: streaming %d vs bulk %d", len(stream), len(bulk))

@@ -1,0 +1,287 @@
+package agg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/obs"
+	"parlouvain/internal/wire"
+)
+
+// encodeBatch renders a batch as the publisher would put it on the wire.
+func encodeBatch(b *wire.TelemetryBatch) []byte {
+	var buf wire.Buffer
+	buf.PutTelemetryBatch(b)
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPublisherCollectorRoundTrip drives three ranks' publishers over a
+// live mem transport group and checks the merged view: per-rank series,
+// hand-computed min/max/sum rollups, histogram aggregation, and the
+// per-level imbalance gauge.
+func TestPublisherCollectorRoundTrip(t *testing.T) {
+	const size = 3
+	trs := comm.NewMemGroup(size)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	conn0, err := comm.New(trs[0]).OpenTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	go col.Run(conn0)
+
+	for rank := 0; rank < size; rank++ {
+		conn := conn0
+		if rank != 0 {
+			if conn, err = comm.New(trs[rank]).OpenTelemetry(); err != nil {
+				t.Fatalf("rank %d: %v", rank, err)
+			}
+		}
+		reg := obs.NewRegistry()
+		reg.Counter("work_total").Add(uint64(rank + 1))
+		reg.Gauge("modularity").Set(0.1 * float64(rank))
+		reg.Histogram("latency", []float64{1, 2}).Observe(float64(rank) + 0.5)
+		rec := obs.NewRecorder()
+		rec.Emit(obs.Event{Name: "iteration", Rank: rank, Level: 0, Iter: 1, TS: int64(rank), Fields: map[string]float64{"moved": float64(rank)}})
+
+		pub := NewPublisher(conn, rank, reg, rec, time.Hour)
+		if err := pub.Flush(); err != nil {
+			t.Fatalf("rank %d flush: %v", rank, err)
+		}
+		// Tail events must ride the final batch emitted by Close.
+		rec.Emit(obs.Event{Name: "STATE PROPAGATION", Rank: rank, Level: 0, TS: 10, Dur: int64(100 * (rank + 1))})
+		if err := pub.Close(); err != nil {
+			t.Fatalf("rank %d close: %v", rank, err)
+		}
+	}
+
+	waitFor(t, "all ranks final", func() bool {
+		st := col.Stats()
+		return len(st.Finals) == size && st.Events == 2*size
+	})
+	st := col.Stats()
+	if len(st.Ranks) != size || st.Dups != 0 || st.Lost != 0 || st.DecodeErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	events := col.Events()
+	perRank := map[int]int{}
+	for _, e := range events {
+		perRank[e.Rank]++
+	}
+	for rank := 0; rank < size; rank++ {
+		if perRank[rank] != 2 {
+			t.Errorf("rank %d contributed %d events, want 2", rank, perRank[rank])
+		}
+	}
+
+	var sb strings.Builder
+	if err := col.WriteClusterPrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"cluster_ranks_reporting 3\n",
+		"cluster_batches_total 6\n",
+		`work_total{rank="0"} 1` + "\n",
+		`work_total{rank="1"} 2` + "\n",
+		`work_total{rank="2"} 3` + "\n",
+		`work_total{agg="min"} 1` + "\n",
+		`work_total{agg="max"} 3` + "\n",
+		`work_total{agg="sum"} 6` + "\n",
+		`modularity{agg="max"} 0.2` + "\n",
+		`latency_bucket{rank="0",le="1"} 1` + "\n",
+		`latency_bucket{agg="sum",le="1"} 1` + "\n",
+		`latency_bucket{agg="sum",le="2"} 2` + "\n",
+		`latency_bucket{agg="sum",le="+Inf"} 3` + "\n",
+		`latency_sum{agg="sum"} 4.5` + "\n",
+		`latency_count{agg="sum"} 3` + "\n",
+		// Phase durations 100/200/300µs: max 300 over mean 200 → 1.5.
+		`cluster_phase_imbalance{level="0",phase="STATE PROPAGATION"} 1.5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestCollectorSeqDedup: replayed and out-of-order sequence numbers are
+// discarded, gaps are counted as lost, and garbage payloads only bump the
+// decode-error counter.
+func TestCollectorSeqDedup(t *testing.T) {
+	col := NewCollector()
+	mk := func(seq uint64, iter int32) []byte {
+		return encodeBatch(&wire.TelemetryBatch{
+			Rank: 1, Seq: seq,
+			Events: []wire.EventRec{{Name: "iteration", Rank: 1, Iter: iter}},
+		})
+	}
+	col.Ingest(mk(1, 1))
+	col.Ingest(mk(1, 1)) // duplicate delivery
+	col.Ingest(mk(3, 3)) // seq 2 dropped in flight
+	col.Ingest(mk(2, 2)) // stale reordering
+	col.Ingest([]byte{0xff, 0xff, 0xff})
+	st := col.Stats()
+	if st.Batches != 2 || st.Dups != 2 || st.Lost != 1 || st.DecodeErrors != 1 {
+		t.Errorf("stats = %+v, want 2 batches, 2 dups, 1 lost, 1 decode error", st)
+	}
+	if st.Events != 2 {
+		t.Errorf("events = %d, want 2 (duplicates must not merge)", st.Events)
+	}
+	// A fresh rank whose first visible batch is seq 4 lost three earlier ones.
+	col.Ingest(encodeBatch(&wire.TelemetryBatch{Rank: 2, Seq: 4}))
+	if st = col.Stats(); st.Lost != 4 {
+		t.Errorf("lost = %d, want 4", st.Lost)
+	}
+}
+
+// TestAggregationUnderChaos: with duplication on every send and a transient
+// fault rate, the collector still converges on exactly the emitted event
+// set — nothing corrupted, nothing double-merged, no deadlock.
+func TestAggregationUnderChaos(t *testing.T) {
+	const size, perRank = 3, 10
+	inner := comm.NewMemGroup(size)
+	trs := make([]comm.Transport, size)
+	for r := range trs {
+		trs[r] = comm.NewChaos(inner[r], comm.ChaosConfig{
+			Seed:         uint64(r + 1),
+			DupProb:      1.0,
+			ErrProb:      0.2,
+			MaxRetries:   6,
+			RetryBackoff: time.Microsecond,
+		})
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	conn0, err := comm.New(trs[0]).OpenTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	go col.Run(conn0)
+
+	for rank := 0; rank < size; rank++ {
+		conn := conn0
+		if rank != 0 {
+			if conn, err = comm.New(trs[rank]).OpenTelemetry(); err != nil {
+				t.Fatalf("rank %d: %v", rank, err)
+			}
+		}
+		rec := obs.NewRecorder()
+		pub := NewPublisher(conn, rank, nil, rec, time.Hour)
+		for i := 0; i < perRank; i++ {
+			rec.Emit(obs.Event{Name: "iteration", Rank: rank, Level: 0, Iter: i + 1, TS: int64(i)})
+			// A flush that loses to fault injection keeps its events for the
+			// next attempt; retry until one batch gets through.
+			ok := false
+			for attempt := 0; attempt < 50; attempt++ {
+				if pub.Flush() == nil {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("rank %d: no flush survived chaos", rank)
+			}
+		}
+	}
+
+	waitFor(t, "all chaos events merged", func() bool {
+		return col.Stats().Events == size*perRank
+	})
+	st := col.Stats()
+	if st.DecodeErrors != 0 {
+		t.Errorf("decode errors = %d under chaos, want 0 (corruption)", st.DecodeErrors)
+	}
+	if st.Dups == 0 {
+		t.Error("DupProb=1 sent every batch twice, yet no duplicate was discarded")
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range col.Events() {
+		key := [2]int{e.Rank, e.Iter}
+		if e.Name != "iteration" || seen[key] {
+			t.Fatalf("corrupt or duplicated event %+v", e)
+		}
+		seen[key] = true
+	}
+	if len(seen) != size*perRank {
+		t.Errorf("unique events = %d, want %d", len(seen), size*perRank)
+	}
+}
+
+// TestPublisherCloseWithoutStart: Close on a never-started publisher must
+// not hang and still emits the final batch.
+func TestPublisherCloseWithoutStart(t *testing.T) {
+	trs := comm.NewMemGroup(1)
+	defer trs[0].Close()
+	conn, err := comm.New(trs[0]).OpenTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	go col.Run(conn)
+	rec := obs.NewRecorder()
+	rec.Emit(obs.Event{Name: "iteration", Rank: 0, Iter: 1})
+	if err := NewPublisher(conn, 0, nil, rec, 0).Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "final batch", func() bool {
+		st := col.Stats()
+		return len(st.Finals) == 1 && st.Events == 1
+	})
+}
+
+// TestPublisherPeriodicLoop: a started publisher ships events without any
+// manual Flush.
+func TestPublisherPeriodicLoop(t *testing.T) {
+	trs := comm.NewMemGroup(2)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	conn0, err := comm.New(trs[0]).OpenTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1, err := comm.New(trs[1]).OpenTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	go col.Run(conn0)
+	rec := obs.NewRecorder()
+	pub := NewPublisher(conn1, 1, nil, rec, time.Millisecond)
+	pub.Start()
+	defer pub.Close()
+	for i := 0; i < 3; i++ {
+		rec.Emit(obs.Event{Name: "iteration", Rank: 1, Iter: i + 1})
+	}
+	waitFor(t, "periodic delivery", func() bool {
+		return col.Stats().Events == 3
+	})
+	if fmt.Sprint(col.Stats().Ranks) != "[1]" {
+		t.Errorf("ranks = %v, want [1]", col.Stats().Ranks)
+	}
+}

@@ -1,0 +1,205 @@
+package agg
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/obs"
+	"parlouvain/internal/wire"
+)
+
+func newTestServer(t *testing.T, col *Collector) *httptest.Server {
+	t.Helper()
+	mux := obs.NewDebugMux(obs.NewRegistry(), nil)
+	col.Attach(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func iterBatch(rank uint32, seq uint64, iter int32) []byte {
+	return encodeBatch(&wire.TelemetryBatch{
+		Rank: rank, Seq: seq,
+		Events: []wire.EventRec{{
+			Name: "iteration", Rank: int32(rank), Iter: iter, TS: int64(iter),
+			FieldKeys: []string{"moved"}, FieldVals: []float64{float64(iter)},
+		}},
+	})
+}
+
+// readSSEEvent consumes one "data: {...}" frame (skipping blank keepalive
+// lines) and unmarshals its payload.
+func readSSEEvent(t *testing.T, br *bufio.Reader) obs.Event {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			t.Fatalf("malformed SSE line %q", line)
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", data, err)
+		}
+		return e
+	}
+}
+
+// TestSSEStream: /events replays the backlog, then follows live ingests.
+func TestSSEStream(t *testing.T) {
+	col := NewCollector()
+	col.Ingest(iterBatch(0, 1, 1)) // backlog before the client connects
+	srv := newTestServer(t, col)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	if e := readSSEEvent(t, br); e.Rank != 0 || e.Iter != 1 {
+		t.Fatalf("backlog event = %+v", e)
+	}
+	col.Ingest(iterBatch(1, 1, 2)) // live event while the stream is open
+	if e := readSSEEvent(t, br); e.Rank != 1 || e.Iter != 2 || e.Fields["moved"] != 2 {
+		t.Fatalf("live event = %+v", e)
+	}
+}
+
+// TestEventsJSONL: the newline-delimited variant carries the same feed.
+func TestEventsJSONL(t *testing.T) {
+	col := NewCollector()
+	col.Ingest(iterBatch(0, 1, 1))
+	col.Ingest(iterBatch(2, 1, 7))
+	srv := newTestServer(t, col)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events.jsonl", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	var got []obs.Event
+	for i := 0; i < 2; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		got = append(got, e)
+	}
+	if got[0].Rank != 0 || got[1].Rank != 2 || got[1].Iter != 7 {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+// TestStreamEndsWhenFeedCloses: once the transport group shuts down, open
+// streams finish their response instead of hanging forever.
+func TestStreamEndsWhenFeedCloses(t *testing.T) {
+	trs := comm.NewMemGroup(1)
+	conn, err := comm.New(trs[0]).OpenTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	go col.Run(conn)
+	srv := newTestServer(t, col)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events.jsonl", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	trs[0].Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatalf("stream did not end cleanly: %v", err)
+	}
+}
+
+// TestSlowSubscriberDrops: a subscriber that never drains loses events —
+// counted, never blocking ingestion.
+func TestSlowSubscriberDrops(t *testing.T) {
+	col := NewCollector()
+	id, ch, backlog := col.subscribe(1)
+	defer col.unsubscribe(id)
+	if len(backlog) != 0 {
+		t.Fatalf("backlog = %d events, want 0", len(backlog))
+	}
+	for i := 0; i < 4; i++ {
+		col.Ingest(iterBatch(0, uint64(i+1), int32(i+1)))
+	}
+	if st := col.Stats(); st.SubscriberDrops != 3 {
+		t.Errorf("SubscriberDrops = %d, want 3", st.SubscriberDrops)
+	}
+	if e := <-ch; e.Iter != 1 {
+		t.Errorf("buffered event = %+v, want iter 1", e)
+	}
+	if err := col.WriteClusterPrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsClusterEndpoint: the Prometheus endpoint serves the merged
+// view alongside the existing single-rank /metrics.
+func TestMetricsClusterEndpoint(t *testing.T) {
+	col := NewCollector()
+	col.Ingest(encodeBatch(&wire.TelemetryBatch{
+		Rank: 0, Seq: 1,
+		Metrics: []wire.MetricRec{{Name: "comm_bytes_total", Kind: wire.MetricCounter, Value: 42}},
+	}))
+	srv := newTestServer(t, col)
+	resp, err := http.Get(srv.URL + "/metrics/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"cluster_ranks_reporting 1\n",
+		`comm_bytes_total{rank="0"} 42` + "\n",
+		`comm_bytes_total{agg="sum"} 42` + "\n",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package agg is the cluster-wide aggregation layer of the observability
+// plane: every rank runs a Publisher that periodically snapshots its metric
+// Registry and drains its Recorder into compact wire.TelemetryBatch
+// payloads pushed over the comm layer's out-of-band telemetry channel, and
+// rank 0 runs a Collector that merges those pushes into a cluster view —
+// per-rank metric snapshots with min/max/sum rollups, a merged cross-rank
+// event feed, and per-level load-imbalance gauges — served over the debug
+// mux as /metrics/cluster, /events (SSE), and /events.jsonl.
+//
+// The channel is best-effort: payloads may be dropped under backpressure or
+// duplicated by the fault-injection transport. The Publisher therefore
+// retries undelivered events on the next flush, and the Collector discards
+// batches whose per-rank sequence number does not advance, so the merged
+// feed converges on exactly-once event delivery without any collective
+// round or acknowledgement traffic.
+package agg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/obs"
+	"parlouvain/internal/wire"
+)
+
+// DefaultInterval is the Publisher flush period used when the caller passes
+// a non-positive interval.
+const DefaultInterval = 250 * time.Millisecond
+
+// Publisher ships one rank's telemetry to the rank-0 collector. Start
+// launches a periodic flush loop; Close stops it and pushes a final batch
+// so short runs and clean shutdowns still deliver their tail.
+type Publisher struct {
+	conn     comm.TelemetryConn
+	rank     int
+	reg      *obs.Registry
+	rec      *obs.Recorder
+	interval time.Duration
+
+	mu     sync.Mutex
+	cursor int    // recorder events already delivered
+	seq    uint64 // last sequence number used
+
+	sendFail  atomic.Uint64
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// NewPublisher wires a publisher for rank over conn. reg or rec may be nil
+// when a rank has only one of the two telemetry sources.
+func NewPublisher(conn comm.TelemetryConn, rank int, reg *obs.Registry, rec *obs.Recorder, interval time.Duration) *Publisher {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Publisher{
+		conn:     conn,
+		rank:     rank,
+		reg:      reg,
+		rec:      rec,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the periodic flush loop. It is safe to call once more than
+// once; only the first call has an effect.
+func (p *Publisher) Start() {
+	p.startOnce.Do(func() {
+		p.started.Store(true)
+		go p.loop()
+	})
+}
+
+func (p *Publisher) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.flush(false)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Flush pushes one batch immediately (also used by the loop). On a failed
+// send the batch's events are kept for the next flush, so a transient drop
+// loses no history; metric values re-snapshot anyway.
+func (p *Publisher) Flush() error { return p.flush(false) }
+
+// Close stops the flush loop and pushes a final batch marked Final.
+func (p *Publisher) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		if p.started.Load() {
+			<-p.done
+		}
+		err = p.flush(true)
+	})
+	return err
+}
+
+// SendFailures counts flushes whose Send errored (payload dropped or
+// channel closed).
+func (p *Publisher) SendFailures() uint64 { return p.sendFail.Load() }
+
+func (p *Publisher) flush(final bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var events []obs.Event
+	cursor := p.cursor
+	if p.rec != nil {
+		events, cursor = p.rec.EventsSince(p.cursor)
+	}
+	p.seq++
+	batch := &wire.TelemetryBatch{Rank: uint32(p.rank), Seq: p.seq, Final: final}
+	if p.reg != nil {
+		p.reg.Each(func(name, kind string, value float64, hist *obs.HistogramSnapshot) {
+			m := wire.MetricRec{Name: name}
+			switch kind {
+			case "counter":
+				m.Kind = wire.MetricCounter
+				m.Value = value
+			case "gauge":
+				m.Kind = wire.MetricGauge
+				m.Value = value
+			case "histogram":
+				m.Kind = wire.MetricHistogram
+				m.Bounds = hist.Bounds
+				m.Buckets = hist.Buckets
+				m.Count = hist.Count
+				m.Sum = hist.Sum
+			}
+			batch.Metrics = append(batch.Metrics, m)
+		})
+	}
+	for _, e := range events {
+		batch.Events = append(batch.Events, eventToRec(e))
+	}
+	var buf wire.Buffer
+	buf.PutTelemetryBatch(batch)
+	if err := p.conn.Send(buf.Bytes()); err != nil {
+		p.sendFail.Add(1)
+		return err
+	}
+	p.cursor = cursor
+	return nil
+}
+
+// eventToRec converts a recorder event to wire form with field keys sorted,
+// so a batch's encoding is deterministic for its logical content.
+func eventToRec(e obs.Event) wire.EventRec {
+	rec := wire.EventRec{
+		Name:  e.Name,
+		Rank:  int32(e.Rank),
+		Level: int32(e.Level),
+		Iter:  int32(e.Iter),
+		TS:    e.TS,
+		Dur:   e.Dur,
+	}
+	if len(e.Fields) > 0 {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rec.FieldKeys = keys
+		rec.FieldVals = make([]float64, len(keys))
+		for i, k := range keys {
+			rec.FieldVals[i] = e.Fields[k]
+		}
+	}
+	return rec
+}
+
+// recToEvent is the inverse of eventToRec.
+func recToEvent(r wire.EventRec) obs.Event {
+	e := obs.Event{
+		Name:  r.Name,
+		Rank:  int(r.Rank),
+		Level: int(r.Level),
+		Iter:  int(r.Iter),
+		TS:    r.TS,
+		Dur:   r.Dur,
+	}
+	if len(r.FieldKeys) > 0 {
+		e.Fields = make(map[string]float64, len(r.FieldKeys))
+		for i, k := range r.FieldKeys {
+			if i < len(r.FieldVals) {
+				e.Fields[k] = r.FieldVals[i]
+			}
+		}
+	}
+	return e
+}

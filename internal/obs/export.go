@@ -8,17 +8,22 @@ import (
 	"os"
 )
 
-// WriteJSONL writes one JSON object per line for every recorded event, in
-// timeline order. The stream round-trips through ReadJSONL.
-func (r *Recorder) WriteJSONL(w io.Writer) error {
+// WriteJSONL writes one JSON object per line for every event. The stream
+// round-trips through ReadJSONL.
+func WriteJSONL(w io.Writer, evs []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range r.Events() {
+	for _, e := range evs {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteJSONL writes the recorder's events as JSONL in timeline order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events())
 }
 
 // ReadJSONL parses a JSONL event stream produced by WriteJSONL.
@@ -39,14 +44,14 @@ func ReadJSONL(rd io.Reader) ([]Event, error) {
 // chromeEvent is one entry of the Chrome trace_event format ("X" complete
 // events), loadable in chrome://tracing and Perfetto.
 type chromeEvent struct {
-	Name string             `json:"name"`
-	Cat  string             `json:"cat"`
-	Ph   string             `json:"ph"`
-	TS   int64              `json:"ts"`
-	Dur  int64              `json:"dur,omitempty"`
-	PID  int                `json:"pid"`
-	TID  int                `json:"tid"`
-	Args map[string]float64 `json:"args,omitempty"`
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	Args any    `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
@@ -54,14 +59,28 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace renders the recorded events in the Chrome trace_event
-// JSON format: each rank becomes one pid track, every event with a
-// duration becomes a complete ("X") slice and instantaneous events become
-// instant ("i") markers. Load the file in chrome://tracing or
-// https://ui.perfetto.dev.
-func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	evs := r.Events()
+// WriteChromeTrace renders an event stream (e.g. a merged cross-rank feed)
+// in the Chrome trace_event JSON format: each rank becomes one pid track,
+// every event with a duration becomes a complete ("X") slice and
+// instantaneous events become instant ("i") markers. Load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, evs []Event) error {
 	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs))}
+	// Name each rank's pid track ("M" metadata events) so a merged
+	// multi-rank trace reads as one timeline with one labelled track per
+	// rank.
+	ranks := map[int]bool{}
+	for _, e := range evs {
+		if !ranks[e.Rank] {
+			ranks[e.Rank] = true
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				PID:  e.Rank,
+				Args: map[string]string{"name": fmt.Sprintf("rank %d", e.Rank)},
+			})
+		}
+	}
 	for _, e := range evs {
 		ce := chromeEvent{
 			Name: e.Name,
@@ -69,7 +88,9 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			TS:   e.TS,
 			PID:  e.Rank,
 			TID:  e.Level,
-			Args: e.Fields,
+		}
+		if len(e.Fields) > 0 {
+			ce.Args = e.Fields
 		}
 		if e.Dur > 0 {
 			ce.Ph, ce.Dur = "X", e.Dur
@@ -82,10 +103,16 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(tr)
 }
 
-// DumpFiles writes the recorder to jsonlPath and/or chromePath (either may
-// be empty to skip). It is the shared implementation behind the CLI -trace
-// and -chrome-trace flags.
-func (r *Recorder) DumpFiles(jsonlPath, chromePath string) error {
+// WriteChromeTrace renders the recorder's events as a Chrome trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Events())
+}
+
+// DumpFiles writes an event stream to jsonlPath and/or chromePath (either
+// may be empty to skip). It is the shared implementation behind the CLI
+// -trace and -chrome-trace flags; rank 0 of a distributed run passes the
+// collector's merged cross-rank feed here.
+func DumpFiles(jsonlPath, chromePath string, evs []Event) error {
 	write := func(path string, fn func(io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -98,14 +125,19 @@ func (r *Recorder) DumpFiles(jsonlPath, chromePath string) error {
 		return f.Close()
 	}
 	if jsonlPath != "" {
-		if err := write(jsonlPath, r.WriteJSONL); err != nil {
+		if err := write(jsonlPath, func(w io.Writer) error { return WriteJSONL(w, evs) }); err != nil {
 			return fmt.Errorf("obs: writing JSONL trace: %w", err)
 		}
 	}
 	if chromePath != "" {
-		if err := write(chromePath, r.WriteChromeTrace); err != nil {
+		if err := write(chromePath, func(w io.Writer) error { return WriteChromeTrace(w, evs) }); err != nil {
 			return fmt.Errorf("obs: writing Chrome trace: %w", err)
 		}
 	}
 	return nil
+}
+
+// DumpFiles writes the recorder's events to the given paths.
+func (r *Recorder) DumpFiles(jsonlPath, chromePath string) error {
+	return DumpFiles(jsonlPath, chromePath, r.Events())
 }

@@ -79,10 +79,24 @@ func TestChromeTraceGoldenAndValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
 		t.Fatalf("chrome trace is not valid JSON: %v", err)
 	}
-	if len(tr.TraceEvents) != 3 {
-		t.Fatalf("trace has %d events, want 3", len(tr.TraceEvents))
+	// 2 process_name metadata events (ranks 0 and 1) + 3 recorded events.
+	if len(tr.TraceEvents) != 5 {
+		t.Fatalf("trace has %d events, want 5", len(tr.TraceEvents))
 	}
-	first := tr.TraceEvents[0]
+	names := map[float64]string{}
+	var slices []map[string]any
+	for _, te := range tr.TraceEvents {
+		if te["ph"] == "M" && te["name"] == "process_name" {
+			args := te["args"].(map[string]any)
+			names[te["pid"].(float64)] = args["name"].(string)
+			continue
+		}
+		slices = append(slices, te)
+	}
+	if names[0] != "rank 0" || names[1] != "rank 1" {
+		t.Errorf("process_name tracks = %v", names)
+	}
+	first := slices[0]
 	if first["ph"] != "X" || first["name"] != "level" {
 		t.Errorf("first trace event = %v", first)
 	}

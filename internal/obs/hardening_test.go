@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"comm_bytes_total", "comm_bytes_total"},
+		{"", "_"},
+		{"9lives", "_lives"},
+		{"a-b.c d", "a_b_c_d"},
+		{"ns:metric_1", "ns:metric_1"},
+		{"héllo", "h_llo"},
+	} {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+	} {
+		if got := EscapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the full hardened exposition: sanitized
+// names, HELP lines, histogram TYPE/HELP, escaped le labels.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(3)
+	r.SetHelp("requests_total", "Total requests served.")
+	r.Gauge("bad name-9").Set(1.5)
+	h := r.Histogram("latency_seconds", []float64{0.1, 1})
+	r.SetHelp("latency_seconds", `Latency with "quotes" and \slashes\.`)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", []byte(sb.String()))
+}
+
+func TestSetHelpUnknownMetricIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("nope", "text")
+	if got := r.Help("nope"); got != "" {
+		t.Errorf("Help(unregistered) = %q", got)
+	}
+}
+
+func TestEventsSince(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Name: "a", TS: 1})
+	r.Emit(Event{Name: "b", TS: 2})
+
+	evs, cur := r.EventsSince(0)
+	if len(evs) != 2 || cur != 2 {
+		t.Fatalf("EventsSince(0) = %d events, cursor %d", len(evs), cur)
+	}
+	evs, cur = r.EventsSince(cur)
+	if len(evs) != 0 || cur != 2 {
+		t.Fatalf("EventsSince(2) = %d events, cursor %d", len(evs), cur)
+	}
+	r.Emit(Event{Name: "c", TS: 3})
+	evs, cur = r.EventsSince(cur)
+	if len(evs) != 1 || evs[0].Name != "c" || cur != 3 {
+		t.Fatalf("EventsSince after emit = %+v, cursor %d", evs, cur)
+	}
+	if evs, cur := r.EventsSince(-5); len(evs) != 3 || cur != 3 {
+		t.Fatalf("EventsSince(-5) = %d events, cursor %d", len(evs), cur)
+	}
+}

@@ -133,6 +133,7 @@ const (
 type metric struct {
 	name string
 	kind metricKind
+	help string
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
@@ -198,6 +199,26 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return m.h
 }
 
+// SetHelp attaches a Prometheus # HELP string to the named metric. It is a
+// no-op for metrics that have not been registered yet.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		m.help = help
+	}
+}
+
+// Help returns the help string attached to name ("" if none).
+func (r *Registry) Help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m.help
+	}
+	return ""
+}
+
 // Each calls fn for every registered metric in registration order with a
 // read-only view of its current value.
 func (r *Registry) Each(fn func(name string, kind string, value float64, hist *HistogramSnapshot)) {
@@ -221,18 +242,24 @@ func (r *Registry) Each(fn func(name string, kind string, value float64, hist *H
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (version 0.0.4), the format scraped from /metrics. Only the
-// standard library is used.
+// format (version 0.0.4), the format scraped from /metrics. Metric names
+// are sanitized to the Prometheus grammar and label values escaped, so a
+// registry fed from untrusted or generated names still produces a parseable
+// exposition. Only the standard library is used.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	var sb strings.Builder
 	r.Each(func(name, kind string, value float64, hist *HistogramSnapshot) {
+		n := SanitizeMetricName(name)
+		if help := r.Help(name); help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", n, escapeHelp(help))
+		}
 		switch kind {
 		case "counter":
-			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %s\n", name, name, formatFloat(value))
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %s\n", n, n, formatFloat(value))
 		case "gauge":
-			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(value))
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(value))
 		case "histogram":
-			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
 			var cum uint64
 			for i, b := range hist.Buckets {
 				cum += b
@@ -240,14 +267,66 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i < len(hist.Bounds) {
 					le = formatFloat(hist.Bounds[i])
 				}
-				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, le, cum)
+				fmt.Fprintf(&sb, "%s_bucket{le=\"%s\"} %d\n", n, EscapeLabelValue(le), cum)
 			}
-			fmt.Fprintf(&sb, "%s_sum %s\n", name, formatFloat(hist.Sum))
-			fmt.Fprintf(&sb, "%s_count %d\n", name, hist.Count)
+			fmt.Fprintf(&sb, "%s_sum %s\n", n, formatFloat(hist.Sum))
+			fmt.Fprintf(&sb, "%s_count %d\n", n, hist.Count)
 		}
 	})
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// SanitizeMetricName maps an arbitrary string onto the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid rune becomes '_' and
+// an empty name becomes "_".
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	valid := func(r rune, first bool) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			return true
+		case r >= '0' && r <= '9':
+			return !first
+		}
+		return false
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		if valid(r, i == 0) {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// EscapeLabelValue escapes backslash, double quote, and newline per the
+// Prometheus text exposition rules for quoted label values.
+func EscapeLabelValue(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes backslash and newline per the # HELP line rules.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
 func formatFloat(v float64) string {

@@ -80,6 +80,22 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// EventsSince returns a copy of the events appended after the first n, in
+// append order, plus the new cursor (the total recorded count). Telemetry
+// publishers use it to ship each event exactly once across periodic
+// flushes: pass the previous cursor, keep the returned one.
+func (r *Recorder) EventsSince(n int) ([]Event, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(r.events) {
+		return nil, len(r.events)
+	}
+	return append([]Event(nil), r.events[n:]...), len(r.events)
+}
+
 // Merge appends every event of o (typically another rank's recorder) into
 // r. Timelines are only comparable when both recorders share an epoch —
 // true for in-process groups created from one Recorder; cross-process

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Run report: an end-of-run per-phase × per-level table distilled from the
+// event stream — the terminal-friendly counterpart of the Chrome trace. It
+// answers the two questions the paper's evaluation keeps asking of a
+// parallel Louvain run: where did the time go (phase × level breakdown) and
+// how unevenly was it spread across ranks (imbalance = max/mean of a
+// phase's per-rank time, the straggler factor).
+
+// PhaseStat aggregates one phase's timing at one level across ranks.
+type PhaseStat struct {
+	Name string
+	// TotalUS sums the phase's duration over all ranks; MaxUS is the
+	// slowest rank's total.
+	TotalUS int64
+	MaxUS   int64
+	// Imbalance is max/mean of the per-rank totals (1.0 = perfectly even,
+	// 0 when no rank reported the phase).
+	Imbalance float64
+	Ranks     int
+}
+
+// LevelStat aggregates one level of the dendrogram.
+type LevelStat struct {
+	Level      int
+	Phases     []PhaseStat
+	Q          float64 // modularity after the level
+	DeltaQ     float64 // gain over the previous level
+	Moves      int64   // vertex moves summed over the level's iterations
+	Iterations int
+	Vertices   int64
+	CommBytes  int64 // bytes sent during the level (0 if not instrumented)
+}
+
+// Report is the distilled run summary.
+type Report struct {
+	Ranks  int
+	Levels []LevelStat
+}
+
+// BuildReport distills a (possibly multi-rank, merged) event stream into a
+// Report. Iteration events are deduplicated by (level, iter): the engine
+// allreduces move counts, so every rank reports the same global values.
+func BuildReport(events []Event) *Report {
+	type phaseKey struct {
+		level int
+		name  string
+	}
+	perRank := map[phaseKey]map[int]int64{} // phase durations by rank
+	phaseOrder := map[int][]string{}        // first-appearance phase order per level
+	ranks := map[int]bool{}
+	levels := map[int]*LevelStat{}
+	seenIter := map[[2]int]bool{}
+
+	level := func(l int) *LevelStat {
+		if levels[l] == nil {
+			levels[l] = &LevelStat{Level: l}
+		}
+		return levels[l]
+	}
+
+	for _, e := range events {
+		ranks[e.Rank] = true
+		switch e.Name {
+		case "iteration":
+			ls := level(e.Level)
+			key := [2]int{e.Level, e.Iter}
+			if !seenIter[key] {
+				seenIter[key] = true
+				ls.Moves += int64(e.Fields["moved"])
+				ls.Iterations++
+			}
+		case "level":
+			ls := level(e.Level)
+			ls.Q = e.Fields["q"]
+			ls.Vertices = int64(e.Fields["vertices"])
+			if n := int(e.Fields["inner_iterations"]); n > ls.Iterations {
+				ls.Iterations = n
+			}
+			if b := int64(e.Fields["comm_bytes"]); b > ls.CommBytes {
+				ls.CommBytes = b
+			}
+		default:
+			if e.Dur <= 0 {
+				continue // config markers and other instants
+			}
+			k := phaseKey{e.Level, e.Name}
+			if perRank[k] == nil {
+				perRank[k] = map[int]int64{}
+				phaseOrder[e.Level] = append(phaseOrder[e.Level], e.Name)
+			}
+			perRank[k][e.Rank] += e.Dur
+			level(e.Level)
+		}
+	}
+
+	rep := &Report{Ranks: len(ranks)}
+	var order []int
+	for l := range levels {
+		order = append(order, l)
+	}
+	sort.Ints(order)
+	prevQ := 0.0
+	for _, l := range order {
+		ls := levels[l]
+		ls.DeltaQ = ls.Q - prevQ
+		prevQ = ls.Q
+		for _, name := range phaseOrder[l] {
+			byRank := perRank[phaseKey{l, name}]
+			ps := PhaseStat{Name: name, Ranks: len(byRank)}
+			for _, d := range byRank {
+				ps.TotalUS += d
+				if d > ps.MaxUS {
+					ps.MaxUS = d
+				}
+			}
+			if len(byRank) > 0 && ps.TotalUS > 0 {
+				mean := float64(ps.TotalUS) / float64(len(byRank))
+				ps.Imbalance = float64(ps.MaxUS) / mean
+			}
+			ls.Phases = append(ls.Phases, ps)
+		}
+		rep.Levels = append(rep.Levels, *ls)
+	}
+	return rep
+}
+
+// Write renders the report as an aligned text table.
+func (rep *Report) Write(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run report: %d rank(s), %d level(s)\n", rep.Ranks, len(rep.Levels))
+	fmt.Fprintf(&sb, "%-5s  %-28s  %12s  %12s  %7s\n", "level", "phase", "total", "max-rank", "imbal")
+	for _, ls := range rep.Levels {
+		for _, ps := range ls.Phases {
+			imbal := "-"
+			if ps.Imbalance > 0 {
+				imbal = fmt.Sprintf("%.2f", ps.Imbalance)
+			}
+			fmt.Fprintf(&sb, "%-5d  %-28s  %12s  %12s  %7s\n",
+				ls.Level, ps.Name, fmtUS(ps.TotalUS), fmtUS(ps.MaxUS), imbal)
+		}
+		fmt.Fprintf(&sb, "%-5d  %-28s  q=%.6f dq=%+.6f moves=%d iters=%d vertices=%d",
+			ls.Level, "· level summary", ls.Q, ls.DeltaQ, ls.Moves, ls.Iterations, ls.Vertices)
+		if ls.CommBytes > 0 {
+			fmt.Fprintf(&sb, " bytes=%s", fmtBytes(ls.CommBytes))
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteRunReport is the one-call form used by the CLI -report flags.
+func WriteRunReport(w io.Writer, events []Event) error {
+	return BuildReport(events).Write(w)
+}
+
+func fmtUS(us int64) string {
+	switch {
+	case us >= 10_000_000:
+		return fmt.Sprintf("%.1fs", float64(us)/1e6)
+	case us >= 10_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 10<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 10<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

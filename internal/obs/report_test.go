@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// reportEvents models a 2-rank run: rank 1 is a 3x straggler in
+// propagation at level 0, and both ranks report identical (allreduced)
+// iteration stats that must not be double counted.
+func reportEvents() []Event {
+	return []Event{
+		{Name: "STATE PROPAGATION", Rank: 0, Level: 0, TS: 0, Dur: 100},
+		{Name: "STATE PROPAGATION", Rank: 1, Level: 0, TS: 0, Dur: 300},
+		{Name: "FIND BEST COMMUNITY", Rank: 0, Level: 0, TS: 100, Dur: 50},
+		{Name: "FIND BEST COMMUNITY", Rank: 1, Level: 0, TS: 300, Dur: 50},
+		{Name: "iteration", Rank: 0, Level: 0, Iter: 1, TS: 150,
+			Fields: map[string]float64{"moved": 10, "q": 0.2}},
+		{Name: "iteration", Rank: 1, Level: 0, Iter: 1, TS: 350,
+			Fields: map[string]float64{"moved": 10, "q": 0.2}},
+		{Name: "iteration", Rank: 0, Level: 0, Iter: 2, TS: 400,
+			Fields: map[string]float64{"moved": 4, "q": 0.3}},
+		{Name: "iteration", Rank: 1, Level: 0, Iter: 2, TS: 400,
+			Fields: map[string]float64{"moved": 4, "q": 0.3}},
+		{Name: "level", Rank: 0, Level: 0, TS: 500,
+			Fields: map[string]float64{"q": 0.3, "vertices": 100, "inner_iterations": 2, "comm_bytes": 2048}},
+		{Name: "level", Rank: 1, Level: 0, TS: 500,
+			Fields: map[string]float64{"q": 0.3, "vertices": 100, "inner_iterations": 2, "comm_bytes": 2048}},
+		{Name: "GRAPH RECONSTRUCTION", Rank: 0, Level: 1, TS: 600, Dur: 80},
+		{Name: "GRAPH RECONSTRUCTION", Rank: 1, Level: 1, TS: 600, Dur: 80},
+		{Name: "level", Rank: 0, Level: 1, TS: 700,
+			Fields: map[string]float64{"q": 0.45, "vertices": 20, "inner_iterations": 1}},
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	rep := BuildReport(reportEvents())
+	if rep.Ranks != 2 {
+		t.Errorf("Ranks = %d, want 2", rep.Ranks)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("Levels = %d, want 2", len(rep.Levels))
+	}
+
+	l0 := rep.Levels[0]
+	if l0.Moves != 14 || l0.Iterations != 2 {
+		t.Errorf("level 0 moves=%d iters=%d, want 14/2 (allreduced stats double counted?)", l0.Moves, l0.Iterations)
+	}
+	if l0.Q != 0.3 || l0.Vertices != 100 || l0.CommBytes != 2048 {
+		t.Errorf("level 0 summary = %+v", l0)
+	}
+	if len(l0.Phases) != 2 || l0.Phases[0].Name != "STATE PROPAGATION" {
+		t.Fatalf("level 0 phases = %+v", l0.Phases)
+	}
+	// Propagation: rank totals 100 and 300 → total 400, max 300,
+	// imbalance 300/200 = 1.5.
+	prop := l0.Phases[0]
+	if prop.TotalUS != 400 || prop.MaxUS != 300 || math.Abs(prop.Imbalance-1.5) > 1e-12 {
+		t.Errorf("propagation stat = %+v", prop)
+	}
+	// Find-best is perfectly balanced.
+	if fb := l0.Phases[1]; math.Abs(fb.Imbalance-1.0) > 1e-12 {
+		t.Errorf("find-best imbalance = %v, want 1.0", fb.Imbalance)
+	}
+
+	l1 := rep.Levels[1]
+	if math.Abs(l1.DeltaQ-0.15) > 1e-12 {
+		t.Errorf("level 1 dq = %v, want 0.15", l1.DeltaQ)
+	}
+}
+
+func TestWriteRunReport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRunReport(&sb, reportEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"2 rank(s), 2 level(s)",
+		"STATE PROPAGATION",
+		"1.50",
+		"q=0.300000",
+		"moves=14",
+		"bytes=2048B",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

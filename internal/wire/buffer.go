@@ -72,6 +72,12 @@ func (b *Buffer) PutBytes(p []byte) {
 	b.b = append(b.b, p...)
 }
 
+// PutString appends a length-prefixed string.
+func (b *Buffer) PutString(s string) {
+	b.PutUvarint(uint64(len(s)))
+	b.b = append(b.b, s...)
+}
+
 // Reader decodes a plane produced by Buffer. It latches the first error
 // (short read, malformed varint); decode methods return zero afterwards, so
 // loops can decode optimistically and check Err once. The zero value reads
@@ -157,6 +163,16 @@ func (r *Reader) Bytes(n int) []byte {
 	b := r.b[r.off : r.off+n]
 	r.off += n
 	return b
+}
+
+// String decodes a length-prefixed string ("" after an error).
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil || n > uint64(r.Remaining()) {
+		r.need(int(n)) // latch a short-plane error
+		return ""
+	}
+	return string(r.Bytes(int(n)))
 }
 
 // Uvarint decodes an unsigned LEB128 varint (0 after an error).

@@ -119,6 +119,68 @@ func FuzzAssignRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzTelemetryBatch round-trips batches built from the fuzz payload and
+// also feeds the raw payload straight to the decoder: arbitrary bytes must
+// surface as errors, never panics or runaway allocation.
+func FuzzTelemetryBatch(f *testing.F) {
+	var seed Buffer
+	seed.PutTelemetryBatch(&TelemetryBatch{
+		Rank: 1, Seq: 9,
+		Metrics: []MetricRec{
+			{Name: "c", Kind: MetricCounter, Value: 3},
+			{Name: "h", Kind: MetricHistogram, Bounds: []float64{1}, Buckets: []uint64{2, 0}, Count: 2, Sum: 0.5},
+		},
+		Events: []EventRec{{Name: "e", Rank: 1, Level: 2, Iter: 3, TS: 4, Dur: 5,
+			FieldKeys: []string{"k"}, FieldVals: []float64{6}}},
+	})
+	f.Add([]byte{}, uint32(0), uint64(0))
+	f.Add(seed.Bytes(), uint32(2), uint64(7))
+	f.Add(bytes.Repeat([]byte{0xff}, 48), uint32(0), uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, rank uint32, seq uint64) {
+		// Arbitrary bytes into the decoder: must not panic.
+		if tb, err := NewReader(data).TelemetryBatch(); err == nil {
+			// Whatever decoded must re-encode and decode to the same value.
+			var b Buffer
+			b.PutTelemetryBatch(tb)
+			tb2, err2 := NewReader(b.Bytes()).TelemetryBatch()
+			if err2 != nil {
+				t.Fatalf("re-decode of valid batch failed: %v", err2)
+			}
+			if tb2.Rank != tb.Rank || tb2.Seq != tb.Seq || tb2.Final != tb.Final ||
+				len(tb2.Metrics) != len(tb.Metrics) || len(tb2.Events) != len(tb.Events) {
+				t.Fatalf("re-encode drift: %+v vs %+v", tb, tb2)
+			}
+		}
+
+		// Structured batch from the payload: must round-trip exactly.
+		batch := &TelemetryBatch{Rank: rank, Seq: seq, Final: len(data)%2 == 1}
+		for i := 0; i+9 <= len(data) && len(batch.Metrics) < 16; i += 9 {
+			batch.Metrics = append(batch.Metrics, MetricRec{
+				Name:  string(data[i : i+1]),
+				Kind:  data[i+1] % 2, // counter or gauge
+				Value: math.Float64frombits(binary.LittleEndian.Uint64(data[i+1 : i+9])),
+			})
+		}
+		var b Buffer
+		b.PutTelemetryBatch(batch)
+		got, err := NewReader(b.Bytes()).TelemetryBatch()
+		if err != nil {
+			t.Fatalf("decode error: %v", err)
+		}
+		if got.Rank != batch.Rank || got.Seq != batch.Seq || got.Final != batch.Final ||
+			len(got.Metrics) != len(batch.Metrics) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", batch, got)
+		}
+		for i := range batch.Metrics {
+			w, g := batch.Metrics[i], got.Metrics[i]
+			if w.Name != g.Name || w.Kind != g.Kind ||
+				math.Float64bits(w.Value) != math.Float64bits(g.Value) {
+				t.Fatalf("metric[%d] mismatch: %+v vs %+v", i, w, g)
+			}
+		}
+	})
+}
+
 // FuzzReaderNeverPanics feeds arbitrary bytes to every decoder: malformed
 // planes must surface as latched errors, never panics or runaway
 // allocation.

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleBatch() *TelemetryBatch {
+	return &TelemetryBatch{
+		Rank:  3,
+		Seq:   41,
+		Final: true,
+		Metrics: []MetricRec{
+			{Name: "louvain_moves_total", Kind: MetricCounter, Value: 1234},
+			{Name: "louvain_modularity", Kind: MetricGauge, Value: -0.125},
+			{
+				Name:    "comm_exchange_seconds",
+				Kind:    MetricHistogram,
+				Bounds:  []float64{0.001, 0.01, 0.1},
+				Buckets: []uint64{5, 2, 0, 1},
+				Count:   8,
+				Sum:     0.375,
+			},
+		},
+		Events: []EventRec{
+			{
+				Name: "iteration", Rank: 3, Level: 1, Iter: 7,
+				TS: 123456, Dur: 789,
+				FieldKeys: []string{"dq_hat", "moved"},
+				FieldVals: []float64{0.5, 42},
+			},
+			{Name: "level", Rank: 3, Level: 2, Iter: 0, TS: 999, Dur: 0},
+		},
+	}
+}
+
+func TestTelemetryBatchRoundTrip(t *testing.T) {
+	for _, tc := range []*TelemetryBatch{
+		sampleBatch(),
+		{},                // zero batch
+		{Rank: 1, Seq: 2}, // no metrics/events
+		{Metrics: []MetricRec{{Name: "", Kind: MetricGauge, Value: math.Inf(1)}}},
+	} {
+		var b Buffer
+		b.PutTelemetryBatch(tc)
+		r := NewReader(b.Bytes())
+		got, err := r.TelemetryBatch()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if r.More() {
+			t.Fatal("leftover bytes")
+		}
+		if !reflect.DeepEqual(normalizeBatch(got), normalizeBatch(tc)) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tc)
+		}
+	}
+}
+
+// normalizeBatch maps nil and empty slices to a canonical form so
+// DeepEqual compares logical content.
+func normalizeBatch(t *TelemetryBatch) *TelemetryBatch {
+	c := *t
+	if len(c.Metrics) == 0 {
+		c.Metrics = nil
+	}
+	for i := range c.Metrics {
+		m := &c.Metrics[i]
+		if len(m.Bounds) == 0 {
+			m.Bounds = nil
+		}
+		if len(m.Buckets) == 0 {
+			m.Buckets = nil
+		}
+	}
+	if len(c.Events) == 0 {
+		c.Events = nil
+	}
+	for i := range c.Events {
+		e := &c.Events[i]
+		if len(e.FieldKeys) == 0 {
+			e.FieldKeys = nil
+		}
+		if len(e.FieldVals) == 0 {
+			e.FieldVals = nil
+		}
+	}
+	return &c
+}
+
+func TestTelemetryBatchBadInput(t *testing.T) {
+	var b Buffer
+	b.PutTelemetryBatch(sampleBatch())
+	enc := b.Bytes()
+
+	// Every truncation must error, never panic or fabricate a batch.
+	for n := 0; n < len(enc); n++ {
+		r := NewReader(enc[:n])
+		if _, err := r.TelemetryBatch(); err == nil {
+			t.Fatalf("truncated to %d bytes: decode succeeded", n)
+		}
+	}
+
+	// Unknown version.
+	r := NewReader([]byte{99})
+	if _, err := r.TelemetryBatch(); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+
+	// Implausible metric count: valid header then a huge count with no body.
+	var h Buffer
+	h.PutUvarint(telemetryBatchVersion)
+	h.PutUvarint(0)       // rank
+	h.PutUvarint(0)       // seq
+	h.PutBytes([]byte{0}) // final
+	h.PutUvarint(1 << 40) // metric count
+	r = NewReader(h.Bytes())
+	if _, err := r.TelemetryBatch(); err == nil {
+		t.Fatal("implausible metric count accepted")
+	}
+
+	// Histogram with mismatched bucket/bound lengths.
+	var m Buffer
+	m.PutUvarint(telemetryBatchVersion)
+	m.PutUvarint(0)
+	m.PutUvarint(0)
+	m.PutBytes([]byte{0})
+	m.PutUvarint(1) // one metric
+	m.PutString("h")
+	m.PutBytes([]byte{MetricHistogram})
+	m.PutF64s([]float64{1, 2}) // 2 bounds
+	m.PutU64s([]uint64{1, 2})  // want 3 buckets
+	m.PutUvarint(3)
+	m.PutF64(1.5)
+	m.PutUvarint(0) // events
+	r = NewReader(m.Bytes())
+	if _, err := r.TelemetryBatch(); err == nil {
+		t.Fatal("mismatched histogram shape accepted")
+	}
+
+	// Unknown metric kind.
+	var k Buffer
+	k.PutUvarint(telemetryBatchVersion)
+	k.PutUvarint(0)
+	k.PutUvarint(0)
+	k.PutBytes([]byte{0})
+	k.PutUvarint(1)
+	k.PutString("x")
+	k.PutBytes([]byte{7}) // bogus kind
+	k.PutF64(1)
+	k.PutUvarint(0)
+	r = NewReader(k.Bytes())
+	if _, err := r.TelemetryBatch(); err == nil {
+		t.Fatal("unknown metric kind accepted")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	var b Buffer
+	for _, s := range []string{"", "a", "metric_name", "héllo\nworld\x00"} {
+		b.Reset()
+		b.PutString(s)
+		r := NewReader(b.Bytes())
+		if got := r.String(); got != s || r.Err() != nil {
+			t.Fatalf("round trip %q -> %q (err %v)", s, got, r.Err())
+		}
+	}
+	// Truncated string latches an error.
+	b.Reset()
+	b.PutString("hello")
+	r := NewReader(b.Bytes()[:3])
+	if got := r.String(); got != "" || r.Err() == nil {
+		t.Fatalf("truncated string: got %q err %v", got, r.Err())
+	}
+}

@@ -65,6 +65,11 @@ type (
 	Similarity = metrics.Similarity
 )
 
+// DefaultStreamChunk is the chunk size Options.StreamChunk = 0 resolves to
+// when the auto-selection picks streaming mode; pass it explicitly to force
+// streaming regardless of transport.
+const DefaultStreamChunk = core.DefaultStreamChunk
+
 // BuildGraph constructs a CSR graph from an edge list; n <= 0 infers the
 // vertex count.
 func BuildGraph(el EdgeList, n int) *Graph { return graph.Build(el, n) }
