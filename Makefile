@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench-json bench-compare clean
+.PHONY: all build test race vet fmt check chaos fuzz bench-json bench-compare clean
 
 all: check
 
@@ -24,11 +24,24 @@ chaos:
 	$(GO) test -race -count=3 -run 'Chaos|TCP|Stream' ./internal/comm
 	$(GO) test -short -run 'Chaos|Invariant|CrossEngine|Stream' ./internal/core
 
-# Run the exchange benchmarks and fixed-seed end-to-end solves, writing
-# machine-readable results (micro-bench ns/op and allocs, bulk-vs-stream
-# wall clock, overlap fraction) to BENCH_PR6.json.
+# Short fuzz pass over every fuzz target (wire codecs, graph readers,
+# generator specs, edge-table freeze/iteration). `go test -fuzz` takes one
+# target per run, so iterate; FUZZTIME scales the per-target budget.
+FUZZTIME ?= 10s
+fuzz:
+	@for pkg in ./internal/wire ./internal/graph ./internal/gencli ./internal/edgetable; do \
+		for target in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
+
+# Run the exchange and level-storage benchmarks and fixed-seed end-to-end
+# solves, writing machine-readable results (micro-bench ns/op and allocs,
+# bulk-vs-stream wall clock, overlap fraction, storage-vs-hash ratios) to
+# BENCH_PR7.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # Perf regression gate: re-run the suite and diff it against the checked-in
 # baseline (override with BENCH_BASE=...). Exits non-zero when any metric

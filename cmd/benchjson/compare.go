@@ -42,6 +42,21 @@ func compareMetric(name string, oldV, newV, tol float64) delta {
 	return d
 }
 
+// e2eKey identifies one e2e configuration across reports. Runs from the
+// storage-variant series carry their backend (and prune marker) in the key,
+// so a hash run is never gated against a CSR run; pre-storage reports have
+// empty Storage/Prune fields and keep their original transport/mode keys.
+func e2eKey(r e2eRun) string {
+	key := r.Transport + "/" + r.Mode
+	if r.Storage != "" {
+		key += "/" + r.Storage
+	}
+	if r.Prune {
+		key += "+prune"
+	}
+	return key
+}
+
 // compareReports diffs every metric present in both reports. Entries that
 // exist on only one side are skipped — -skip-bench runs and renamed
 // benchmarks must not trip the gate.
@@ -70,10 +85,10 @@ func compareReports(oldR, newR *report, tol tolerances) []delta {
 
 	oldE2E := map[string]e2eRun{}
 	for _, r := range oldR.E2E {
-		oldE2E[r.Transport+"/"+r.Mode] = r
+		oldE2E[e2eKey(r)] = r
 	}
 	for _, nr := range newR.E2E {
-		key := nr.Transport + "/" + nr.Mode
+		key := e2eKey(nr)
 		or, ok := oldE2E[key]
 		if !ok || or.Ranks != nr.Ranks || or.Threads != nr.Threads {
 			continue

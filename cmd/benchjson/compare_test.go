@@ -99,6 +99,54 @@ func TestCompareSkipsUnmatchedEntries(t *testing.T) {
 	}
 }
 
+// storageReport extends the base with a storage-variant series, as written
+// by reports from the CSR backend onward.
+func storageReport() *report {
+	r := baseReport()
+	r.E2E = append(r.E2E,
+		e2eRun{Transport: "mem", Mode: "bulk", Ranks: 2, Threads: 2, Storage: "hash", Seconds: 2.0},
+		e2eRun{Transport: "mem", Mode: "bulk", Ranks: 2, Threads: 2, Storage: "csr", Seconds: 1.4},
+		e2eRun{Transport: "mem", Mode: "bulk", Ranks: 2, Threads: 2, Storage: "csr", Prune: true, Seconds: 1.2},
+	)
+	return r
+}
+
+// A report written before the storage-variant series existed must compare
+// cleanly against one that has it: the new rows are one-sided and skipped,
+// and — critically — the storage rows must not collapse onto the plain
+// transport/mode keys and gate mem/bulk against a storage run.
+func TestCompareStorageSeriesAgainstPreStorageReport(t *testing.T) {
+	ds := compareReports(baseReport(), storageReport(), defaultTolerances())
+	for _, d := range ds {
+		if strings.Contains(d.Metric, "hash") || strings.Contains(d.Metric, "csr") {
+			t.Errorf("one-sided storage row compared: %s", d.Metric)
+		}
+	}
+	if r := regressions(ds); len(r) != 0 {
+		t.Errorf("pre-storage baseline flagged: %v", r)
+	}
+}
+
+// Storage rows compare only against the same backend+prune configuration.
+func TestCompareStorageKeysIsolateBackends(t *testing.T) {
+	bad := storageReport()
+	// Slow the pruned-CSR run past tolerance; hash and plain csr improve.
+	for i := range bad.E2E {
+		if bad.E2E[i].Storage == "" {
+			continue
+		}
+		if bad.E2E[i].Prune {
+			bad.E2E[i].Seconds *= 2
+		} else {
+			bad.E2E[i].Seconds *= 0.9
+		}
+	}
+	got := regressions(compareReports(storageReport(), bad, defaultTolerances()))
+	if len(got) != 1 || got[0] != "e2e mem/bulk/csr+prune seconds" {
+		t.Errorf("flagged %v, want exactly [e2e mem/bulk/csr+prune seconds]", got)
+	}
+}
+
 func TestWriteCompareVerdicts(t *testing.T) {
 	bad := baseReport()
 	bad.E2E[0].Seconds *= 2

@@ -1,27 +1,34 @@
-// Command benchjson runs the streaming-exchange benchmark suite and writes
-// the results as one machine-readable JSON file (see `make bench-json`,
-// which produces BENCH_PR6.json at the repo root). With -compare it instead
-// diffs two such files and exits non-zero when any metric regressed beyond
-// tolerance — the perf gate behind `make bench-compare` and the CI warning
-// step:
+// Command benchjson runs the streaming-exchange and level-storage benchmark
+// suites and writes the results as one machine-readable JSON file (see
+// `make bench-json`, which produces BENCH_PR7.json at the repo root). With
+// -compare it instead diffs two such files and exits non-zero when any
+// metric regressed beyond tolerance — the perf gate behind
+// `make bench-compare` and the CI warning step:
 //
-//	benchjson -out BENCH_PR6.json          # run the suite
+//	benchjson -out BENCH_PR7.json          # run the suite
 //	benchjson -compare old.json new.json   # gate new against old
 //
-// Two measurement families go into the file:
+// Three measurement families go into the file:
 //
 //   - the micro-benchmarks BenchmarkExchangeAllocs and BenchmarkStreamOverlap
-//     from internal/core, executed via `go test -bench` and parsed from its
-//     output (ns/op, B/op, allocs/op, plus the custom bytes/round and
-//     overlap-frac metrics);
+//     from internal/core plus the BenchmarkStore* / BenchmarkFreezeCSR
+//     level-storage series from internal/edgetable, executed via
+//     `go test -bench` and parsed from its output (ns/op, B/op, allocs/op,
+//     plus the custom bytes/round and overlap-frac metrics);
 //   - fixed-seed end-to-end solves of one LFR graph over the mem and TCP
 //     transports in both exchange modes (bulk vs streaming), with wall
 //     clock, final modularity, traffic volume and the measured overlap
-//     fraction pulled from the metrics registry.
+//     fraction pulled from the metrics registry;
+//   - a storage-variant series: the same fixed-seed R-MAT graph solved with
+//     each level-storage backend (hash, frozen CSR, auto) and with pruned
+//     refine sweeps. Every variant must land on the identical Q — only the
+//     wall clock may differ — and the hash-relative time ratios are
+//     summarized in storage_vs_hash_time_ratio.
 //
-// The graph seed and every parameter are pinned, so runs on the same host
+// The graph seeds and every parameter are pinned, so runs on the same host
 // are comparable; absolute times move with hardware, the bulk-vs-stream
-// ratios and the overlap fraction are the stable signal.
+// and storage-vs-hash ratios and the overlap fraction are the stable
+// signal.
 package main
 
 import (
@@ -49,10 +56,14 @@ type benchLine struct {
 }
 
 type e2eRun struct {
-	Transport   string  `json:"transport"`
-	Mode        string  `json:"mode"`
-	Ranks       int     `json:"ranks"`
-	Threads     int     `json:"threads"`
+	Transport string `json:"transport"`
+	Mode      string `json:"mode"`
+	Ranks     int    `json:"ranks"`
+	Threads   int    `json:"threads"`
+	// Storage/Prune identify the storage-variant series; both are empty on
+	// the LFR transport runs so older reports keep their compare keys.
+	Storage     string  `json:"storage,omitempty"`
+	Prune       bool    `json:"prune,omitempty"`
 	Seconds     float64 `json:"seconds"`
 	Q           float64 `json:"q"`
 	Levels      int     `json:"levels"`
@@ -70,6 +81,9 @@ type report struct {
 	// Summary ratios derived from the e2e table: stream seconds / bulk
 	// seconds per transport (lower is better).
 	StreamSpeedup map[string]float64 `json:"stream_vs_bulk_time_ratio"`
+	// Storage-variant seconds / hash-baseline seconds on the R-MAT solve
+	// (lower is better), keyed by "csr", "auto", "csr+prune", ...
+	StorageSpeedup map[string]float64 `json:"storage_vs_hash_time_ratio,omitempty"`
 }
 
 func main() {
@@ -77,11 +91,13 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	tol := defaultTolerances()
 	var (
-		out        = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR7.json", "output JSON path")
 		benchTime  = flag.String("benchtime", "200x", "-benchtime passed to go test")
 		n          = flag.Int("n", 20000, "e2e LFR graph size")
 		mu         = flag.Float64("mu", 0.3, "e2e LFR mixing parameter")
 		seed       = flag.Uint64("seed", 11, "e2e LFR seed")
+		rmatScale  = flag.Int("rmat-scale", 13, "storage-variant series R-MAT scale (2^scale vertices)")
+		rmatSeed   = flag.Uint64("rmat-seed", 5, "storage-variant series R-MAT seed")
 		ranks      = flag.Int("ranks", 2, "e2e rank count")
 		threads    = flag.Int("threads", 2, "e2e threads per rank")
 		skipBench  = flag.Bool("skip-bench", false, "skip the go test -bench pass (e2e only)")
@@ -110,10 +126,12 @@ func main() {
 	}
 
 	rep := report{
-		GoVersion:     strings.TrimSpace(goVersion()),
-		Revision:      buildinfo.Revision(),
-		Graph:         fmt.Sprintf("LFR n=%d mu=%.2f seed=%d", *n, *mu, *seed),
-		StreamSpeedup: map[string]float64{},
+		GoVersion: strings.TrimSpace(goVersion()),
+		Revision:  buildinfo.Revision(),
+		Graph: fmt.Sprintf("LFR n=%d mu=%.2f seed=%d; RMAT scale=%d seed=%d",
+			*n, *mu, *seed, *rmatScale, *rmatSeed),
+		StreamSpeedup:  map[string]float64{},
+		StorageSpeedup: map[string]float64{},
 	}
 
 	if !*skipBench {
@@ -131,7 +149,7 @@ func main() {
 	for _, transport := range []string{"mem", "tcp"} {
 		var bulk, stream e2eRun
 		for _, mode := range []string{"bulk", "stream"} {
-			run, err := runE2E(el, *n, *ranks, *threads, transport, mode)
+			run, err := runE2E(el, *n, *ranks, *threads, transport, mode, "", false)
 			if err != nil {
 				log.Fatalf("e2e %s/%s: %v", transport, mode, err)
 			}
@@ -148,6 +166,43 @@ func main() {
 		}
 		if bulk.Seconds > 0 {
 			rep.StreamSpeedup[transport] = stream.Seconds / bulk.Seconds
+		}
+	}
+
+	// Storage-variant series: one fixed-seed R-MAT graph solved with each
+	// level-storage backend. Identity is re-checked here end to end (the
+	// differential suite is the real harness; this is the perf gate's own
+	// sanity line) and the hash-relative wall-clock ratios summarized.
+	rel, err := parlouvain.RMAT(parlouvain.DefaultRMAT(*rmatScale, *rmatSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rn := 1 << *rmatScale
+	var storageBase e2eRun
+	for _, v := range []struct {
+		storage string
+		prune   bool
+	}{{"hash", false}, {"csr", false}, {"auto", false}, {"csr", true}} {
+		run, err := runE2E(rel, rn, *ranks, *threads, "mem", "bulk", v.storage, v.prune)
+		if err != nil {
+			log.Fatalf("e2e rmat storage=%s prune=%v: %v", v.storage, v.prune, err)
+		}
+		label := v.storage
+		if v.prune {
+			label += "+prune"
+		}
+		log.Printf("e2e rmat mem/%-9s  %.3fs  Q=%.6f", label, run.Seconds, run.Q)
+		rep.E2E = append(rep.E2E, run)
+		if v.storage == "hash" && !v.prune {
+			storageBase = run
+			continue
+		}
+		if run.Q != storageBase.Q || run.Levels != storageBase.Levels {
+			log.Fatalf("storage %s diverged from hash: Q %v vs %v, levels %d vs %d",
+				label, run.Q, storageBase.Q, run.Levels, storageBase.Levels)
+		}
+		if storageBase.Seconds > 0 {
+			rep.StorageSpeedup[label] = run.Seconds / storageBase.Seconds
 		}
 	}
 
@@ -170,43 +225,50 @@ func goVersion() string {
 	return string(out)
 }
 
-// runGoBench executes the exchange benchmarks and parses the standard
-// benchmark output format: name, iteration count, then (value, unit) pairs.
+// runGoBench executes the exchange and level-storage benchmarks and parses
+// the standard benchmark output format: name, iteration count, then
+// (value, unit) pairs.
 func runGoBench(benchTime string) ([]benchLine, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "BenchmarkExchangeAllocs|BenchmarkStreamOverlap",
-		"-benchmem", "-benchtime", benchTime, "./internal/core")
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return nil, fmt.Errorf("go test -bench: %w", err)
+	suites := []struct{ pattern, pkg string }{
+		{"BenchmarkExchangeAllocs|BenchmarkStreamOverlap", "./internal/core"},
+		{"BenchmarkStoreSweep|BenchmarkStoreRow|BenchmarkStoreLookup|BenchmarkStoreStats|BenchmarkFreezeCSR",
+			"./internal/edgetable"},
 	}
 	var lines []benchLine
-	for _, ln := range strings.Split(string(out), "\n") {
-		if !strings.HasPrefix(ln, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(ln)
-		if len(fields) < 4 {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
+	for _, s := range suites {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", s.pattern, "-benchmem", "-benchtime", benchTime, s.pkg)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
 		if err != nil {
-			continue
+			return nil, fmt.Errorf("go test -bench %s: %w", s.pkg, err)
 		}
-		bl := benchLine{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
+		for _, ln := range strings.Split(string(out), "\n") {
+			if !strings.HasPrefix(ln, "Benchmark") {
+				continue
+			}
+			fields := strings.Fields(ln)
+			if len(fields) < 4 {
+				continue
+			}
+			iters, err := strconv.ParseInt(fields[1], 10, 64)
 			if err != nil {
 				continue
 			}
-			if fields[i+1] == "ns/op" {
-				bl.NsPerOp = v
-			} else {
-				bl.Metrics[fields[i+1]] = v
+			bl := benchLine{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				if fields[i+1] == "ns/op" {
+					bl.NsPerOp = v
+				} else {
+					bl.Metrics[fields[i+1]] = v
+				}
 			}
+			lines = append(lines, bl)
 		}
-		lines = append(lines, bl)
 	}
 	if len(lines) == 0 {
 		return nil, fmt.Errorf("no benchmark lines parsed")
@@ -214,9 +276,16 @@ func runGoBench(benchTime string) ([]benchLine, error) {
 	return lines, nil
 }
 
-// runE2E solves the graph once over the requested transport and exchange
-// mode, pulling traffic and overlap measurements from per-rank registries.
-func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode string) (e2eRun, error) {
+// runE2E solves the graph once over the requested transport, exchange mode
+// and level-storage variant, pulling traffic and overlap measurements from
+// per-rank registries. An empty storage string means the library default
+// (auto) and leaves the run's storage fields unset, preserving the compare
+// keys of reports written before the storage series existed.
+func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode, storage string, prune bool) (e2eRun, error) {
+	storageKind, err := parlouvain.ParseStorage(storage)
+	if err != nil {
+		return e2eRun{}, err
+	}
 	// Explicit modes on both sides: 0 now auto-selects per transport, which
 	// would silently collapse the small-mem "stream" row into a bulk run.
 	streamChunk := parlouvain.DefaultStreamChunk
@@ -246,7 +315,8 @@ func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode strin
 			r := r
 			g.Go(func() error {
 				res, err := parlouvain.DetectDistributed(trs[r], parts[r], n, parlouvain.Options{
-					Threads: threads, StreamChunk: streamChunk, Metrics: regs[r],
+					Threads: threads, StreamChunk: streamChunk,
+					Storage: storageKind, Prune: prune, Metrics: regs[r],
 				})
 				results[r] = res
 				return err
@@ -266,7 +336,8 @@ func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode strin
 				}
 				defer tr.Close()
 				res, err := parlouvain.DetectDistributed(tr, parts[r], n, parlouvain.Options{
-					Threads: threads, StreamChunk: streamChunk, Metrics: regs[r],
+					Threads: threads, StreamChunk: streamChunk,
+					Storage: storageKind, Prune: prune, Metrics: regs[r],
 				})
 				results[r] = res
 				return err
@@ -285,6 +356,8 @@ func runE2E(el parlouvain.EdgeList, n, ranks, threads int, transport, mode strin
 		Mode:      mode,
 		Ranks:     ranks,
 		Threads:   threads,
+		Storage:   storage,
+		Prune:     prune,
 		Seconds:   elapsed.Seconds(),
 		Q:         results[0].Q,
 		Levels:    len(results[0].Levels),

@@ -48,6 +48,8 @@ func main() {
 		check     = flag.Bool("check", false, "verify algorithm invariants after every level (mass conservation, rank agreement, Q monotonicity; parallel engine)")
 		traceF    = flag.String("trace", "", "write per-iteration telemetry events to this file as JSONL (parallel engine)")
 		streamSz  = flag.Int("stream-chunk", 0, "streaming-exchange chunk size in bytes for the heavy phases; 0 picks per transport, negative disables streaming (bulk rounds)")
+		storage   = flag.String("storage", "auto", "per-level edge storage read by the refine loop: hash | csr (frozen adjacency array) | auto (size-based per level); results are identical in every mode")
+		prune     = flag.Bool("prune", false, "skip refine-sweep vertices whose neighborhoods did not change community (exact pruning; results are identical)")
 		chromeF   = flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline to this file (load in chrome://tracing or Perfetto)")
 		report    = flag.Bool("report", false, "print a per-phase run report (time share, imbalance, wire traffic) after the run (parallel engine)")
 		metricsF  = flag.String("metrics-out", "", "write a final Prometheus text-format metrics snapshot to this file")
@@ -75,6 +77,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	storageKind, err := parlouvain.ParseStorage(*storage)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opt := parlouvain.Options{
 		Threads:         *threads,
 		Naive:           *naive,
@@ -83,6 +89,8 @@ func main() {
 		CollectLevels:   true,
 		CheckInvariants: *check,
 		StreamChunk:     streamChunkOption(*streamSz),
+		Storage:         storageKind,
+		Prune:           *prune,
 	}
 	var rec *parlouvain.Recorder
 	if *traceF != "" || *chromeF != "" || *report {

@@ -73,6 +73,8 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. :9090); rank 0 adds /metrics/cluster, /events and /events.jsonl")
 		aggEvery  = flag.Duration("agg-interval", agg.DefaultInterval, "how often to publish telemetry to rank 0 over the out-of-band channel (0 disables aggregation)")
 		streamSz  = flag.Int("stream-chunk", 0, "streaming-exchange chunk size in bytes for the heavy phases; 0 picks per transport, negative disables streaming (bulk rounds); must match across ranks")
+		storage   = flag.String("storage", "auto", "per-level edge storage read by the refine loop: hash | csr (frozen adjacency array) | auto (size-based per level); rank-local, results are identical in every mode")
+		prune     = flag.Bool("prune", false, "skip refine-sweep vertices whose neighborhoods did not change community (exact pruning; results are identical)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -190,12 +192,19 @@ func main() {
 	}
 
 	meshState.Store("running")
+	storageKind, err := parlouvain.ParseStorage(*storage)
+	if err != nil {
+		meshState.Store("failed")
+		log.Fatal(err)
+	}
 	res, err := parlouvain.DetectDistributed(tr, local, n, parlouvain.Options{
 		Threads:         *threads,
 		Naive:           *naive,
 		CollectLevels:   true,
 		CheckInvariants: *check,
 		StreamChunk:     streamChunkOption(*streamSz),
+		Storage:         storageKind,
+		Prune:           *prune,
 		Recorder:        rec,
 		Metrics:         reg,
 	})

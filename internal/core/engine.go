@@ -72,6 +72,26 @@ type engine struct {
 	in  []*edgetable.Table // (src,dst) -> w, dst owned; self-loops doubled
 	out []*edgetable.Table // (u,comm)  -> w_{u->comm}, u owned
 
+	// levelStore is the read backend for the current level's frozen graph
+	// (Options.Storage): either sharded — the In_Table shards viewed as one
+	// Store — or a CSR wrapped around the adjacency arrays below. Reset by
+	// every levelInit; serves the level's Len/Stats/lookup queries and the
+	// storage-consistency invariant.
+	levelStore edgetable.Store
+	sharded    edgetable.Sharded
+
+	// Vertex-pruning state (Options.Prune; dirty is nil when off). A vertex
+	// is dirty when its last findBest result may be stale: it moved, a
+	// neighbor's move touched its Out_Table row (deltaMerge), or a
+	// community it references changed Σtot/members (changedComms, diffed in
+	// pullTotals). allDirty forces a full sweep after full propagations and
+	// at level starts, when per-vertex tracking has no baseline. dirty[li]
+	// is only written by update's serial loop, by the merge/mark worker of
+	// shard li%Threads, or by findBest itself, so sweeps stay race-free.
+	dirty        []bool
+	allDirty     bool
+	changedComms map[uint32]struct{}
+
 	// remoteTot and remoteMembers cache Σtot and the member count for
 	// every community referenced by this rank's Out_Table entries,
 	// refreshed by each state propagation. Member counts feed the
@@ -198,6 +218,13 @@ func newEngine(c *comm.Comm, n int, opt Options) *engine {
 		s.in[t] = edgetable.New(tcfg(1024))
 		s.out[t] = edgetable.New(tcfg(1024))
 	}
+	s.sharded = edgetable.NewSharded(s.in...)
+	s.levelStore = s.sharded
+	if opt.Prune {
+		s.dirty = make([]bool, nLoc)
+		s.allDirty = true
+		s.changedComms = make(map[uint32]struct{})
+	}
 	s.remoteTot = edgetable.New(tcfg(256))
 	s.remoteMembers = edgetable.New(tcfg(256))
 	s.planes = wire.GetPlanes(c.Size())
@@ -266,10 +293,11 @@ func (s *engine) emitPhase(name string, level, iter int, ts int64, d time.Durati
 	s.rec.Emit(obs.Event{Name: name, Rank: s.part.Rank, Level: level, Iter: iter, TS: ts, Dur: d.Microseconds()})
 }
 
-// inTableStats aggregates the per-shard In_Table occupancy for the current
-// level's graph (valid between levelInit and reconstruct).
+// inTableStats reports the current level store's occupancy statistics
+// (valid between levelInit and reconstruct): a slot sweep on the hash
+// backend, precomputed at freeze time on CSR.
 func (s *engine) inTableStats() edgetable.Stats {
-	return edgetable.AggregateStats(s.in...)
+	return s.levelStore.Stats()
 }
 
 // outPlanes resets and returns the per-destination send planes.
@@ -315,10 +343,7 @@ func (s *engine) run() (*Result, error) {
 		}
 	}
 	// Input edge count for TEPS: single-counted distinct entries.
-	var localEdges uint64
-	for t := 0; t < s.opt.Threads; t++ {
-		localEdges += uint64(s.in[t].Len())
-	}
+	localEdges := uint64(s.levelStore.Len())
 	totalEntries, err := s.c.AllReduceUint64(localEdges, comm.OpSum)
 	if err != nil {
 		return nil, err

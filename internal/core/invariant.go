@@ -28,6 +28,9 @@ import (
 //     (Section IV-B's convergence claim), within floating-point tolerance.
 //  6. Weight preservation — graph reconstruction (Algorithm 5) preserves
 //     total edge weight: m is identical at every level.
+//  7. Storage consistency — the level's pluggable read store (hash shards
+//     or frozen CSR, Options.Storage) agrees with the engine's adjacency
+//     arrays on entry count, total weight, and sampled degrees/lookups.
 //
 // Checks run when Options.CheckInvariants is set (the -check flag of
 // cmd/louvain and cmd/louvaind) and in every core test. Each check folds
@@ -131,6 +134,11 @@ func (s *engine) checkLevel(level int, vertices uint64, q, qPrev float64) error 
 			ErrInvariant, s.part.Rank, level, digest, lo, hi)
 	}
 
+	// (7) Storage consistency (rank-local, no collectives).
+	if err := s.checkStorage(level); err != nil {
+		return err
+	}
+
 	// (5) Monotonicity across levels. The naive baseline is exempt: without
 	// best-state snapshots a level may legitimately end below its start when
 	// simultaneous moves oscillate (the Figure 4 pathology the heuristic
@@ -138,6 +146,53 @@ func (s *engine) checkLevel(level int, vertices uint64, q, qPrev float64) error 
 	if !s.opt.Naive && !math.IsInf(qPrev, -1) && q < qPrev-invariantTol {
 		return fmt.Errorf("%w: rank %d level %d: modularity decreased across levels: %.12g -> %.12g",
 			ErrInvariant, s.part.Rank, level, qPrev, q)
+	}
+	return nil
+}
+
+// checkStorage verifies invariant 7: whichever backend levelInit selected
+// for this level (hash shards or frozen CSR), it must present exactly the
+// graph the engine's adjacency arrays were derived from — same entry
+// count, same total weight, and bit-equal weights and degrees on a sample
+// of vertices. Degree on the hash backend is a full scan, so the sample is
+// capped rather than exhaustive.
+func (s *engine) checkStorage(level int) error {
+	if got, want := s.levelStore.Len(), len(s.adjSrc); got != want {
+		return fmt.Errorf("%w: rank %d level %d: level store holds %d entries, adjacency has %d",
+			ErrInvariant, s.part.Rank, level, got, want)
+	}
+	var sumStore, sumAdj float64
+	s.levelStore.Range(func(_ uint64, w float64) bool {
+		sumStore += w
+		return true
+	})
+	for _, w := range s.adjW {
+		sumAdj += w
+	}
+	// Summation order differs between backends, so compare with tolerance.
+	if math.Abs(sumStore-sumAdj) > invariantTol*math.Max(1, math.Abs(sumAdj)) {
+		return fmt.Errorf("%w: rank %d level %d: level store weight %.12g != adjacency weight %.12g",
+			ErrInvariant, s.part.Rank, level, sumStore, sumAdj)
+	}
+	const maxSamples = 64
+	stride := 1
+	if s.nLoc > maxSamples {
+		stride = s.nLoc / maxSamples
+	}
+	for li := 0; li < s.nLoc; li += stride {
+		gid := s.part.GlobalID(li)
+		rowLen := int(s.adjOff[li+1] - s.adjOff[li])
+		if got := s.levelStore.Degree(gid); got != rowLen {
+			return fmt.Errorf("%w: rank %d level %d: store degree of vertex %d = %d, adjacency row length %d",
+				ErrInvariant, s.part.Rank, level, gid, got, rowLen)
+		}
+		for e := s.adjOff[li]; e < s.adjOff[li+1]; e++ {
+			w, ok := s.levelStore.GetPair(s.adjSrc[e], gid)
+			if !ok || w != s.adjW[e] {
+				return fmt.Errorf("%w: rank %d level %d: store lookup (%d,%d) = (%v,%v), adjacency holds %v",
+					ErrInvariant, s.part.Rank, level, s.adjSrc[e], gid, w, ok, s.adjW[e])
+			}
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -55,6 +56,73 @@ func DefaultEpsilon() EpsilonFunc {
 // while leaving enough chunks per round to overlap transfer with compute.
 const DefaultStreamChunk = 64 << 10
 
+// StorageKind selects the per-level edge storage backend the refine loop
+// reads from (Options.Storage). Levels are always *built* in the hash
+// shards — the dynamic insert-accumulate structure of the paper — and the
+// kind decides what happens once a level's graph is frozen.
+type StorageKind uint8
+
+const (
+	// StorageAuto picks per level from the local entry count: small levels
+	// stay on the hash shards (freezing them would cost more than it
+	// saves), larger levels are compacted into a CSR. The choice is
+	// rank-local and affects only local read paths, never wire contents,
+	// so ranks need not agree.
+	StorageAuto StorageKind = iota
+	// StorageHash keeps every level on the open-addressed hash shards —
+	// the seed behavior.
+	StorageHash
+	// StorageCSR compacts every frozen level into a CSR adjacency array
+	// (edgetable.CSR) before the refine loop.
+	StorageCSR
+)
+
+// String returns the flag spelling of the kind.
+func (k StorageKind) String() string {
+	switch k {
+	case StorageAuto:
+		return "auto"
+	case StorageHash:
+		return "hash"
+	case StorageCSR:
+		return "csr"
+	default:
+		return fmt.Sprintf("StorageKind(%d)", uint8(k))
+	}
+}
+
+// ParseStorage parses the -storage flag values "hash", "csr" and "auto".
+func ParseStorage(s string) (StorageKind, error) {
+	switch s {
+	case "auto", "":
+		return StorageAuto, nil
+	case "hash":
+		return StorageHash, nil
+	case "csr":
+		return StorageCSR, nil
+	default:
+		return StorageAuto, fmt.Errorf("unknown storage kind %q (want hash, csr or auto)", s)
+	}
+}
+
+// autoCSRMinEntries is the local In-entry count above which StorageAuto
+// freezes a level into a CSR. Below it the level fits comfortably in cache
+// either way and the freeze pass is pure overhead; above it the refine
+// sweeps amortize the compaction within the first inner iteration.
+const autoCSRMinEntries = 4096
+
+// resolveStorage maps a StorageKind to the concrete backend for one level,
+// given this rank's local In-entry count. Explicit kinds pass through.
+func resolveStorage(k StorageKind, localEntries int) StorageKind {
+	if k != StorageAuto {
+		return k
+	}
+	if localEntries >= autoCSRMinEntries {
+		return StorageCSR
+	}
+	return StorageHash
+}
+
 // Options configures either engine. The zero value is usable.
 type Options struct {
 	// MaxLevels bounds outer iterations; 0 means 32.
@@ -88,6 +156,26 @@ type Options struct {
 	LoadFactor float64
 	// TableLayout for the edge tables (probing by default).
 	TableLayout edgetable.Layout
+
+	// Storage selects the per-level read backend for the refine loop: the
+	// hash shards a level is built in (StorageHash), a frozen CSR
+	// adjacency array compacted once per level (StorageCSR), or a
+	// per-level size-based choice (StorageAuto, the zero value). Results
+	// are bit-identical in every mode — both backends expose the same
+	// entries in the same deterministic order (pinned by the differential
+	// suite) — and the resolution is rank-local, so ranks need not agree.
+	// Exposed as -storage on cmd/louvain and cmd/louvaind.
+	Storage StorageKind
+
+	// Prune enables exact vertex pruning in the refine loop: a vertex is
+	// re-scanned by findBest only when its last result could have changed
+	// — it moved, a neighbor's move touched its community-weight row, or
+	// the total weight / member count of a community it references
+	// changed. Clean vertices reuse their previous best move, so results
+	// stay bit-identical to unpruned runs (pinned by the differential
+	// suite); sweeps after delta propagations skip the settled bulk of the
+	// graph. Exposed as -prune on cmd/louvain and cmd/louvaind.
+	Prune bool
 
 	// StreamChunk selects the exchange mode of the heavy scatter phases
 	// (full propagation, delta propagation, reconstruction): 0 picks

@@ -3,6 +3,7 @@ package core
 import (
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
+	"parlouvain/internal/par"
 	"parlouvain/internal/wire"
 )
 
@@ -19,6 +20,11 @@ import (
 func (s *engine) propagate() error {
 	for t := 0; t < s.opt.Threads; t++ {
 		s.out[t].Reset()
+	}
+	if s.dirty != nil {
+		// The full rebuild replaces every Out_Table row and Σtot cache
+		// entry, so per-vertex staleness tracking loses its baseline.
+		s.allDirty = true
 	}
 	if err := s.scatter(s.nLoc, s.propBuildFn, s.propMergeFn); err != nil {
 		return err
@@ -70,17 +76,58 @@ func (s *engine) propagateDelta() error {
 	for t := range s.newComms {
 		s.newComms[t] = s.newComms[t][:0]
 	}
+	if s.dirty != nil {
+		clear(s.changedComms)
+	}
 	if err := s.scatter(len(s.moveLog), s.deltaBuildFn, s.deltaMergeFn); err != nil {
 		return err
 	}
 	// Extend the Σtot reference set with the newly-seen communities; the
-	// existing keys are kept, so no Out_Table rescan is needed.
+	// existing keys are kept, so no Out_Table rescan is needed. (Zeroing a
+	// first-seen key of an already-referenced community wipes its cached
+	// Σtot, which the pruning diff below then counts as changed — a
+	// spurious dirty mark, never a missed one.)
 	for _, ccs := range s.newComms {
 		for _, cc := range ccs {
 			s.remoteTot.Set(uint64(cc), 0)
 		}
 	}
-	return s.pullTotals(false)
+	if err := s.pullTotals(false); err != nil {
+		return err
+	}
+	if s.dirty != nil {
+		s.markChangedComms()
+	}
+	return nil
+}
+
+// markChangedComms marks every vertex whose findBest inputs include a
+// community whose Σtot or member count just changed (collected by the
+// pullTotals diff): vertices with an Out_Table row entry targeting it, and
+// vertices currently assigned to it (their stay baseline and singleton
+// rule read its totals). Shard workers only write dirty slots of their own
+// li % Threads stripe, as everywhere.
+func (s *engine) markChangedComms() {
+	if len(s.changedComms) == 0 {
+		return
+	}
+	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
+		s.out[t].Range(func(key uint64, _ float64) bool {
+			u, cc := hashfn.Unpack32(key)
+			if _, ok := s.changedComms[cc]; ok {
+				s.dirty[s.part.LocalIndex(u)] = true
+			}
+			return true
+		})
+		for li := t; li < s.nLoc; li += s.opt.Threads {
+			if !s.active[li] {
+				continue
+			}
+			if _, ok := s.changedComms[uint32(s.commOf[li])]; ok {
+				s.dirty[li] = true
+			}
+		}
+	})
 }
 
 // deltaBuild rebroadcasts the in-edges of a contiguous range of the move
@@ -117,6 +164,10 @@ func (s *engine) deltaMerge(t int, r *wire.Reader) error {
 		li := s.part.LocalIndex(u)
 		if li%s.opt.Threads != t {
 			continue
+		}
+		if s.dirty != nil {
+			// u's row changed: its cached findBest result is stale.
+			s.dirty[li] = true
 		}
 		s.out[t].AddPair(u, oldC, -w)
 		if s.out[t].AddPair(u, newC, w) {
@@ -182,6 +233,7 @@ func (s *engine) pullTotals(rescan bool) error {
 	if err != nil {
 		return err
 	}
+	diff := s.dirty != nil && !rescan
 	for _, plane := range resps {
 		r.Reset(plane)
 		for r.More() {
@@ -190,6 +242,17 @@ func (s *engine) pullTotals(rescan bool) error {
 			members := r.F64()
 			if err := r.Err(); err != nil {
 				return err
+			}
+			if diff {
+				// Pruning: record communities whose totals moved since the
+				// last pull so markChangedComms can dirty their referrers.
+				// (No diffing after a rescan — the full propagation already
+				// set allDirty.)
+				oldTot, hadTot := s.remoteTot.Get(uint64(cc))
+				oldMem, hadMem := s.remoteMembers.Get(uint64(cc))
+				if !hadTot || !hadMem || oldTot != tot || oldMem != members {
+					s.changedComms[cc] = struct{}{}
+				}
 			}
 			s.remoteTot.Set(uint64(cc), tot)
 			s.remoteMembers.Set(uint64(cc), members)

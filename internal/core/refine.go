@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"parlouvain/internal/comm"
@@ -158,11 +159,25 @@ func (s *engine) refineLevel(level int, vertices uint64, sw *perf.Stopwatch, q0 
 // findBest is Algorithm 4 lines 4-9: for every owned active vertex, find
 // the neighbor community with the highest relative modularity gain m_u
 // over staying put. Threads work on disjoint Out_Table shards.
+//
+// With Options.Prune the sweep recomputes only dirty vertices — those
+// whose result inputs (own community, Out_Table row, or the Σtot/member
+// counts of any referenced community) changed since their last sweep —
+// and clean vertices keep their cached stay/bestGain/bestTo. A vertex's
+// result is a pure function of the *set* of its row entries and those
+// inputs (the max-gain/min-label fold is order-independent), so the reuse
+// is exact: pruned runs are bit-identical to full sweeps, which the
+// differential suite pins. A full propagation or level start resets the
+// tracking baseline via allDirty.
 func (s *engine) findBest() {
+	prune := s.dirty != nil && !s.allDirty
+	if prune {
+		prunedSweeps.Add(1)
+	}
 	par.For(s.opt.Threads, s.opt.Threads, func(t, lo, hi int) {
 		// Baseline: the gain of re-joining the current community.
 		for li := t; li < s.nLoc; li += s.opt.Threads {
-			if !s.active[li] {
+			if !s.active[li] || (prune && !s.dirty[li]) {
 				continue
 			}
 			c0 := s.commOf[li]
@@ -176,7 +191,7 @@ func (s *engine) findBest() {
 			u, cc := hashfn.Unpack32(key)
 			li := s.part.LocalIndex(u)
 			c0 := s.commOf[li]
-			if !s.active[li] || graph.V(cc) == c0 {
+			if !s.active[li] || graph.V(cc) == c0 || (prune && !s.dirty[li]) {
 				return true
 			}
 			// Singleton minimum-label rule (Grappolo-style, the paper's
@@ -199,8 +214,21 @@ func (s *engine) findBest() {
 			}
 			return true
 		})
+		if s.dirty != nil {
+			// Every vertex of this shard now holds a fresh result.
+			for li := t; li < s.nLoc; li += s.opt.Threads {
+				s.dirty[li] = false
+			}
+		}
 	})
+	s.allDirty = false
 }
+
+// prunedSweeps counts findBest invocations that ran in pruned (dirty-only)
+// mode across all engines — observability for the differential suite, which
+// asserts the pruned path was actually exercised rather than every sweep
+// degenerating to allDirty.
+var prunedSweeps atomic.Uint64
 
 // dq is Equation 4.
 func dq(wUToC, sumTot, ku, m float64) float64 {
@@ -291,6 +319,10 @@ func (s *engine) update(dqHat float64) (uint64, error) {
 		}
 		s.commOf[li] = newC
 		s.moveLog = append(s.moveLog, moveRec{li, oldC})
+		if s.dirty != nil {
+			// The mover's own stay baseline is now stale.
+			s.dirty[li] = true
+		}
 		moved++
 		bo := p.To(s.part.Owner(oldC))
 		bo.PutU32(uint32(oldC))

@@ -56,6 +56,14 @@ var nameOrder = map[string]int{
 // can be collected in streaming (DefaultStreamChunk), bulk (-1), and
 // auto-selected (0) exchange modes — the stream must be identical in all.
 func collectGoldenTrace(t *testing.T, streamChunk int) []goldenEvent {
+	return collectGoldenTraceVariant(t, streamChunk, StorageAuto, false)
+}
+
+// collectGoldenTraceVariant additionally selects the level-storage backend
+// and refine-sweep pruning: every (storage, prune) combination must emit
+// the identical stream — the backends expose the same graph in the same
+// order and pruning reuses only provably-unchanged results.
+func collectGoldenTraceVariant(t *testing.T, streamChunk int, storage StorageKind, prune bool) []goldenEvent {
 	t.Helper()
 	const (
 		n     = 1000
@@ -77,6 +85,8 @@ func collectGoldenTrace(t *testing.T, streamChunk int) []goldenEvent {
 				Threads:     2,
 				Recorder:    recs[r],
 				StreamChunk: streamChunk,
+				Storage:     storage,
+				Prune:       prune,
 			})
 			return err
 		})
@@ -129,15 +139,7 @@ func collectGoldenTrace(t *testing.T, streamChunk int) []goldenEvent {
 // `go test ./internal/core -run GoldenTrace -update` and inspect the diff.
 func TestParallelGoldenTrace(t *testing.T) {
 	got := collectGoldenTrace(t, 0)
-	var buf []byte
-	for _, e := range got {
-		line, err := json.Marshal(e)
-		if err != nil {
-			t.Fatal(err)
-		}
-		buf = append(buf, line...)
-		buf = append(buf, '\n')
-	}
+	buf := goldenJSONL(t, got)
 	path := filepath.Join("testdata", "golden_trace.jsonl")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -175,6 +177,22 @@ func TestParallelGoldenTrace(t *testing.T) {
 	t.Fatal("trace differs but no line-level divergence found")
 }
 
+// goldenJSONL serializes a normalized event stream to the golden file
+// format, one JSON object per line.
+func goldenJSONL(t *testing.T, events []goldenEvent) []byte {
+	t.Helper()
+	var buf []byte
+	for _, e := range events {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
 func splitLines(s string) []string {
 	var out []string
 	start := 0
@@ -202,6 +220,54 @@ func TestGoldenTraceDeterministic(t *testing.T) {
 		if fmt.Sprintf("%+v", a[i]) != fmt.Sprintf("%+v", b[i]) {
 			t.Fatalf("event %d differs:\n  %+v\n  %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestGoldenTraceHashMatchesSeedGolden pins the hash backend against the
+// golden file produced before storage became pluggable: Storage=hash must
+// reproduce it byte-for-byte, proving the Store extraction introduced no
+// silent behavior drift on the seed path.
+func TestGoldenTraceHashMatchesSeedGolden(t *testing.T) {
+	got := goldenJSONL(t, collectGoldenTraceVariant(t, 0, StorageHash, false))
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("Storage=hash no longer reproduces the seed golden trace byte-for-byte")
+	}
+}
+
+// TestGoldenTraceStorageVariants pins every storage backend and the pruned
+// sweep against the same golden stream: frozen-CSR levels and pruned
+// refine sweeps are pure read-path optimizations, so the event stream —
+// moved counts, thresholds and modularity values included — must not move
+// by a single bit in any combination.
+func TestGoldenTraceStorageVariants(t *testing.T) {
+	base := collectGoldenTrace(t, 0)
+	variants := []struct {
+		name    string
+		storage StorageKind
+		prune   bool
+	}{
+		{"hash", StorageHash, false},
+		{"csr", StorageCSR, false},
+		{"auto+prune", StorageAuto, true},
+		{"csr+prune", StorageCSR, true},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			got := collectGoldenTraceVariant(t, 0, v.storage, v.prune)
+			if len(got) != len(base) {
+				t.Fatalf("event counts differ: %s %d vs auto %d", v.name, len(got), len(base))
+			}
+			for i := range got {
+				if fmt.Sprintf("%+v", got[i]) != fmt.Sprintf("%+v", base[i]) {
+					t.Fatalf("event %d differs:\n  %s: %+v\n  auto: %+v", i, v.name, got[i], base[i])
+				}
+			}
+		})
 	}
 }
 

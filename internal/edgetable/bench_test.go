@@ -1,0 +1,135 @@
+package edgetable
+
+import (
+	"testing"
+
+	"parlouvain/internal/graph"
+)
+
+// Refine-sweep-shaped benchmarks over the two level-storage backends: the
+// queries the engine issues against a frozen level — full-table sweeps
+// (the shape of propagateBuild/computeQ scans), per-destination row
+// iteration (findBest's neighborhood walks), point lookups, and the
+// occupancy aggregation behind every "level" event. The hash-vs-CSR series
+// feeds cmd/benchjson and BENCH_PR7.json; the CSR is expected to win the
+// sweep/row/stats shapes (contiguous arrays, no slot probing or journal
+// indirection) and lose point lookups (O(degree) row scan vs O(1) probe),
+// which is exactly why the engine freezes only static levels.
+
+const (
+	benchRows   = 4096
+	benchDegree = 16
+)
+
+// benchStores builds one level graph — benchRows owned vertices of degree
+// benchDegree — in both backends, engine-sharded across 2 tables.
+func benchStores() (Sharded, *CSR) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	shards := []*Table{New(Config{}), New(Config{})}
+	for li := 0; li < benchRows; li++ {
+		dst := graph.V(part.GlobalID(li))
+		for d := 0; d < benchDegree; d++ {
+			src := graph.V((li*benchDegree + d*2654435761) % (benchRows * 2))
+			shards[li%2].AddPair(src, dst, 1+float64(d)/8)
+		}
+	}
+	return NewSharded(shards...), FreezeCSR(part, benchRows, shards...)
+}
+
+func benchBackends() map[string]Store {
+	hash, csr := benchStores()
+	return map[string]Store{"hash": hash, "csr": csr}
+}
+
+// BenchmarkStoreSweep folds every entry's weight — the hot shape of the
+// refine loop's full-table scans.
+func BenchmarkStoreSweep(b *testing.B) {
+	for name, st := range benchBackends() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(st.Len()), "entries")
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum = 0
+				st.Range(func(_ uint64, w float64) bool {
+					sum += w
+					return true
+				})
+			}
+			if sum == 0 {
+				b.Fatal("sweep folded nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRow iterates one destination's in-row across all rows —
+// findBest's per-vertex neighborhood walk. The hash backends answer this
+// with a filtered full scan, so the per-row cost is the whole point of
+// freezing; rows per op is fixed small to keep the hash side tractable.
+func BenchmarkStoreRow(b *testing.B) {
+	const rowsPerOp = 8
+	for name, st := range benchBackends() {
+		b.Run(name, func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum = 0
+				for li := 0; li < rowsPerOp; li++ {
+					st.RangeOf(graph.V(li), func(_ graph.V, w float64) bool {
+						sum += w
+						return true
+					})
+				}
+			}
+			if sum == 0 {
+				b.Fatal("row walk folded nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkStoreLookup point-queries present pairs — the query shape the
+// hash layout exists for, kept in the series so the CSR's O(degree) cost
+// on it stays visible.
+func BenchmarkStoreLookup(b *testing.B) {
+	for name, st := range benchBackends() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				li := i % benchRows
+				src := graph.V((li * benchDegree) % (benchRows * 2))
+				if _, ok := st.GetPair(src, graph.V(li)); !ok {
+					b.Fatal("present pair not found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreStats measures the per-level occupancy aggregation: a full
+// slot sweep on hash, precomputed at freeze time on CSR.
+func BenchmarkStoreStats(b *testing.B) {
+	for name, st := range benchBackends() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s := st.Stats(); s.Entries == 0 {
+					b.Fatal("no entries")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFreezeCSR prices the compaction itself, so the per-level
+// break-even behind Options.Storage=auto is measurable.
+func BenchmarkFreezeCSR(b *testing.B) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	hash, _ := benchStores()
+	shards := []*Table(hash)
+	var c CSR
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Freeze(part, benchRows, shards...)
+	}
+	if c.Len() == 0 {
+		b.Fatal("freeze produced no entries")
+	}
+}

@@ -1,0 +1,322 @@
+package edgetable
+
+import (
+	"testing"
+
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+)
+
+// buildShards inserts the given (src,dst,w) triples into shardCount tables
+// sharded the way the engine shards its In_Table: by local index mod shard
+// count. Insertion order within a shard is the triple order.
+func buildShards(part graph.Partition, shardCount int, triples [][3]float64) []*Table {
+	shards := make([]*Table, shardCount)
+	for i := range shards {
+		shards[i] = New(Config{})
+	}
+	for _, tr := range triples {
+		src, dst := graph.V(tr[0]), graph.V(tr[1])
+		li := part.LocalIndex(dst)
+		shards[li%shardCount].AddPair(src, dst, tr[2])
+	}
+	return shards
+}
+
+func TestFreezeCSRMatchesHash(t *testing.T) {
+	part := graph.Partition{Rank: 1, Size: 2}
+	// Owned dsts are odd ids; duplicate (src,dst) pairs accumulate.
+	triples := [][3]float64{
+		{4, 1, 1.5}, {2, 1, 2}, {4, 1, 0.5}, {9, 9, 3},
+		{1, 3, -1}, {1, 3, 1}, // accumulates to zero, entry must survive
+		{7, 5, 0.25}, {0, 5, 4},
+	}
+	const nLoc = 8
+	shards := buildShards(part, 2, triples)
+	csr := FreezeCSR(part, nLoc, shards...)
+	hash := NewSharded(shards...)
+
+	if csr.Len() != hash.Len() {
+		t.Fatalf("Len: csr %d != hash %d", csr.Len(), hash.Len())
+	}
+	// Every hash entry must answer identically from the CSR, bit-for-bit.
+	hash.Range(func(key uint64, w float64) bool {
+		got, ok := csr.Get(key)
+		if !ok || got != w {
+			src, dst := hashfn.Unpack32(key)
+			t.Errorf("Get(%d,%d): csr %v,%v want %v", src, dst, got, ok, w)
+		}
+		return true
+	})
+	// And vice versa: the CSR holds nothing the hash does not.
+	seen := 0
+	csr.Range(func(key uint64, w float64) bool {
+		seen++
+		if got, ok := hash.Get(key); !ok || got != w {
+			t.Errorf("csr key %x weight %v not in hash (got %v,%v)", key, w, got, ok)
+		}
+		return true
+	})
+	if seen != csr.Len() {
+		t.Errorf("Range visited %d entries, Len says %d", seen, csr.Len())
+	}
+	for li := 0; li < nLoc; li++ {
+		gid := part.GlobalID(li)
+		if c, h := csr.Degree(gid), hash.Degree(gid); c != h {
+			t.Errorf("Degree(%d): csr %d != hash %d", gid, c, h)
+		}
+	}
+	if cs, hs := csr.Stats(), hash.Stats(); cs.Entries != hs.Entries {
+		t.Errorf("Stats.Entries: csr %d != hash %d", cs.Entries, hs.Entries)
+	}
+}
+
+func TestCSRRowOrderIsShardInsertionOrder(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	shards := []*Table{New(Config{})}
+	// One row, three entries inserted in a known order.
+	shards[0].AddPair(30, 2, 1)
+	shards[0].AddPair(10, 2, 2)
+	shards[0].AddPair(20, 2, 3)
+	csr := FreezeCSR(part, 4, shards...)
+	src, w := csr.Row(2)
+	wantSrc := []graph.V{30, 10, 20}
+	wantW := []float64{1, 2, 3}
+	if len(src) != 3 {
+		t.Fatalf("row length %d, want 3", len(src))
+	}
+	for i := range wantSrc {
+		if src[i] != wantSrc[i] || w[i] != wantW[i] {
+			t.Errorf("row[%d] = (%d,%v), want (%d,%v)", i, src[i], w[i], wantSrc[i], wantW[i])
+		}
+	}
+	// Range must be row-major: local indices non-decreasing.
+	shards[0].AddPair(5, 0, 9)
+	shards[0].AddPair(5, 3, 9)
+	csr = FreezeCSR(part, 4, shards...)
+	last := -1
+	csr.Range(func(key uint64, _ float64) bool {
+		_, dst := hashfn.Unpack32(key)
+		li := part.LocalIndex(graph.V(dst))
+		if li < last {
+			t.Errorf("Range not row-major: row %d after %d", li, last)
+		}
+		last = li
+		return true
+	})
+}
+
+func TestCSRRangeOfConcatenationEqualsRange(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 2}
+	triples := [][3]float64{{1, 0, 1}, {2, 0, 2}, {3, 2, 3}, {4, 4, 4}, {5, 4, 5}}
+	const nLoc = 3
+	csr := FreezeCSR(part, nLoc, buildShards(part, 2, triples)...)
+	type ent struct {
+		key uint64
+		w   float64
+	}
+	var flat, rows []ent
+	csr.Range(func(key uint64, w float64) bool {
+		flat = append(flat, ent{key, w})
+		return true
+	})
+	for li := 0; li < nLoc; li++ {
+		gid := part.GlobalID(li)
+		csr.RangeOf(gid, func(src graph.V, w float64) bool {
+			rows = append(rows, ent{hashfn.Pack32(src, gid), w})
+			return true
+		})
+	}
+	if len(flat) != len(rows) {
+		t.Fatalf("lengths differ: Range %d, RangeOf-concat %d", len(flat), len(rows))
+	}
+	for i := range flat {
+		if flat[i] != rows[i] {
+			t.Errorf("entry %d: Range %+v != RangeOf %+v", i, flat[i], rows[i])
+		}
+	}
+}
+
+func TestCSREarlyStop(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	shards := []*Table{New(Config{})}
+	for i := uint32(0); i < 10; i++ {
+		shards[0].AddPair(i, i%3, 1)
+	}
+	csr := FreezeCSR(part, 3, shards...)
+	n := 0
+	csr.Range(func(uint64, float64) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Errorf("Range with early stop visited %d, want 4", n)
+	}
+	n = 0
+	csr.RangeOf(0, func(graph.V, float64) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("RangeOf with early stop visited %d, want 1", n)
+	}
+}
+
+func TestCSRUnownedQueries(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 2}
+	csr := FreezeCSR(part, 2, buildShards(part, 1, [][3]float64{{1, 0, 1}})...)
+	if d := csr.Degree(1); d != 0 { // dst 1 owned by rank 1
+		t.Errorf("Degree of foreign dst = %d, want 0", d)
+	}
+	if _, ok := csr.GetPair(1, 1); ok {
+		t.Error("GetPair found entry for foreign dst")
+	}
+	csr.RangeOf(1, func(graph.V, float64) bool {
+		t.Error("RangeOf iterated a foreign dst")
+		return false
+	})
+	// Owned but beyond the row space: absent, not a panic.
+	if d := csr.Degree(4); d != 0 {
+		t.Errorf("Degree beyond row space = %d, want 0", d)
+	}
+}
+
+func TestFreezeCSRForeignDstPanics(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 2}
+	shards := []*Table{New(Config{})}
+	shards[0].AddPair(3, 1, 1) // dst 1 owned by rank 1, not 0
+	defer func() {
+		if recover() == nil {
+			t.Error("freeze of a foreign destination did not panic")
+		}
+	}()
+	FreezeCSR(part, 2, shards...)
+}
+
+func TestNewCSRShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCSR with inconsistent shapes did not panic")
+		}
+	}()
+	NewCSR(graph.Partition{Size: 1}, 2, []int64{0, 1, 3}, make([]graph.V, 2), make([]float64, 3))
+}
+
+func TestFreezeReusesBuffers(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	c := new(CSR)
+	big := make([][3]float64, 0, 64)
+	for i := 0; i < 64; i++ {
+		big = append(big, [3]float64{float64(i), float64(i % 8), float64(i) + 0.5})
+	}
+	c.Freeze(part, 8, buildShards(part, 2, big)...)
+	if c.Len() != 64 {
+		t.Fatalf("first freeze Len = %d, want 64", c.Len())
+	}
+	// Second freeze with fewer entries must not retain stale ones.
+	c.Freeze(part, 8, buildShards(part, 2, big[:10])...)
+	if c.Len() != 10 {
+		t.Fatalf("second freeze Len = %d, want 10", c.Len())
+	}
+	for _, tr := range big[:10] {
+		w, ok := c.GetPair(graph.V(tr[0]), graph.V(tr[1]))
+		if !ok || w != tr[2] {
+			t.Errorf("after refreeze GetPair(%v,%v) = %v,%v want %v", tr[0], tr[1], w, ok, tr[2])
+		}
+	}
+}
+
+func TestCSRStatsSemantics(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	// Rows of length 3, 1, 0, 2: entries 6, non-empty 3.
+	triples := [][3]float64{
+		{1, 0, 1}, {2, 0, 1}, {3, 0, 1},
+		{1, 1, 1},
+		{1, 3, 1}, {2, 3, 1},
+	}
+	s := FreezeCSR(part, 4, buildShards(part, 1, triples)...).Stats()
+	if s.Entries != 6 || s.Slots != 6 || s.LoadFactor != 1 {
+		t.Errorf("dense accounting: %+v", s)
+	}
+	if s.NonEmpty != 3 || s.MaxBinLen != 3 {
+		t.Errorf("row accounting: NonEmpty=%d MaxBinLen=%d", s.NonEmpty, s.MaxBinLen)
+	}
+	if s.AvgBinLen != 2 {
+		t.Errorf("AvgBinLen = %v, want 2", s.AvgBinLen)
+	}
+	// Probe cost: (3·4/2 + 1·2/2 + 2·3/2) / 6 = (6+1+3)/6.
+	if want := 10.0 / 6.0; s.MeanProbe != want {
+		t.Errorf("MeanProbe = %v, want %v", s.MeanProbe, want)
+	}
+	if len(s.PerPartition) != 1 || s.PerPartition[0] != 6 {
+		t.Errorf("PerPartition = %v", s.PerPartition)
+	}
+	if s.Growths != 0 {
+		t.Errorf("Growths = %d, want 0", s.Growths)
+	}
+
+	empty := FreezeCSR(part, 4, New(Config{})).Stats()
+	if empty.Entries != 0 || empty.LoadFactor != 0 || empty.MeanProbe != 0 || empty.AvgBinLen != 0 {
+		t.Errorf("empty CSR stats not zeroed: %+v", empty)
+	}
+}
+
+// TestStoreConformance exercises every Store implementation through the
+// interface with the same contents, pinning that they agree on all queries.
+func TestStoreConformance(t *testing.T) {
+	part := graph.Partition{Rank: 0, Size: 1}
+	triples := [][3]float64{{9, 1, 2}, {8, 1, 3}, {7, 0, 1}, {6, 2, 4}, {6, 2, 1}}
+	shards := buildShards(part, 2, triples)
+	single := New(Config{})
+	for _, tr := range triples {
+		single.AddPair(graph.V(tr[0]), graph.V(tr[1]), tr[2])
+	}
+	stores := map[string]Store{
+		"table":   single,
+		"sharded": NewSharded(shards...),
+		"csr":     FreezeCSR(part, 3, shards...),
+	}
+	for name, st := range stores {
+		t.Run(name, func(t *testing.T) {
+			if st.Len() != 4 {
+				t.Errorf("Len = %d, want 4", st.Len())
+			}
+			if w, ok := st.GetPair(6, 2); !ok || w != 5 {
+				t.Errorf("GetPair(6,2) = %v,%v want 5 (accumulated)", w, ok)
+			}
+			if w, ok := st.Get(hashfn.Pack32(7, 0)); !ok || w != 1 {
+				t.Errorf("Get(7,0) = %v,%v want 1", w, ok)
+			}
+			if _, ok := st.GetPair(1, 9); ok {
+				t.Error("GetPair found reversed tuple")
+			}
+			if d := st.Degree(1); d != 2 {
+				t.Errorf("Degree(1) = %d, want 2", d)
+			}
+			if d := st.Degree(3); d != 0 {
+				t.Errorf("Degree(3) = %d, want 0", d)
+			}
+			var rowSum float64
+			st.RangeOf(1, func(_ graph.V, w float64) bool {
+				rowSum += w
+				return true
+			})
+			if rowSum != 5 {
+				t.Errorf("RangeOf(1) weight sum = %v, want 5", rowSum)
+			}
+			var total float64
+			n := 0
+			st.Range(func(_ uint64, w float64) bool {
+				total += w
+				n++
+				return true
+			})
+			if n != 4 || total != 11 {
+				t.Errorf("Range visited %d entries totalling %v, want 4 and 11", n, total)
+			}
+			if s := st.Stats(); s.Entries != 4 {
+				t.Errorf("Stats.Entries = %d, want 4", s.Entries)
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package edgetable
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+)
+
+// Fuzz targets for the frozen-CSR backend: arbitrary insertion sequences
+// are replayed into engine-style hash shards, frozen, and the two backends
+// must answer every query identically. Corpus bytes are consumed as
+// 9-byte (src, dst, weight) records; the partition geometry is drawn from
+// the first two bytes so the LocalIndex/Owns arithmetic is fuzzed too.
+
+// fuzzTriples decodes the corpus into a partition, shard set and triple
+// list. Destinations are folded onto this rank's owned id stripe (a
+// freeze of a foreign destination panics by contract, which is not what
+// these targets probe).
+func fuzzTriples(data []byte) (graph.Partition, int, []*Table, [][3]float64, bool) {
+	if len(data) < 2 {
+		return graph.Partition{}, 0, nil, nil, false
+	}
+	size := 1 + int(data[0])%4
+	part := graph.Partition{Rank: int(data[1]) % size, Size: size}
+	shardCount := 1 + int(data[0]>>4)%3
+	data = data[2:]
+
+	const idBound = 1 << 12
+	var triples [][3]float64
+	for len(data) >= 9 {
+		src := binary.LittleEndian.Uint32(data[0:4]) % idBound
+		dst := binary.LittleEndian.Uint32(data[4:8]) % idBound
+		// Fold dst onto the owned stripe: owner(v) = v mod size.
+		dst = dst - dst%uint32(size) + uint32(part.Rank)
+		// Weights include zero and negatives: delta propagation both
+		// subtracts and accumulates entries to exactly zero.
+		w := float64(int(data[8])-128) / 8
+		triples = append(triples, [3]float64{float64(src), float64(dst), w})
+		data = data[9:]
+	}
+	if len(triples) == 0 {
+		return graph.Partition{}, 0, nil, nil, false
+	}
+	nLoc := part.MaxLocalCount(idBound)
+	return part, nLoc, buildShards(part, shardCount, triples), triples, true
+}
+
+func fuzzSeed(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 1, 0, 0, 0, 2, 0, 0, 0, 200})
+	f.Add([]byte{0x13, 0x02,
+		5, 0, 0, 0, 7, 0, 0, 0, 100,
+		5, 0, 0, 0, 7, 0, 0, 0, 156, // same pair, accumulates toward zero
+		9, 1, 0, 0, 3, 2, 0, 0, 0})
+	f.Add([]byte{0x21, 0x01, 255, 255, 0, 0, 255, 255, 0, 0, 128})
+}
+
+// FuzzCSRFromHash: freeze arbitrary insertion sequences and assert the CSR
+// agrees with the hash shards on every lookup, degree, entry count and
+// iteration — bit-for-bit on weights.
+func FuzzCSRFromHash(f *testing.F) {
+	fuzzSeed(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		part, nLoc, shards, triples, ok := fuzzTriples(data)
+		if !ok {
+			t.Skip()
+		}
+		csr := FreezeCSR(part, nLoc, shards...)
+		hash := NewSharded(shards...)
+
+		if csr.Len() != hash.Len() {
+			t.Fatalf("Len: csr %d != hash %d", csr.Len(), hash.Len())
+		}
+		// Every inserted pair answers identically (duplicates re-query the
+		// same accumulated entry — still must match bitwise).
+		for _, tr := range triples {
+			src, dst := graph.V(tr[0]), graph.V(tr[1])
+			hw, hok := hash.GetPair(src, dst)
+			cw, cok := csr.GetPair(src, dst)
+			if hok != cok || hw != cw {
+				t.Fatalf("GetPair(%d,%d): hash %v,%v csr %v,%v", src, dst, hw, hok, cw, cok)
+			}
+			if hd, cd := hash.Degree(dst), csr.Degree(dst); hd != cd {
+				t.Fatalf("Degree(%d): hash %d != csr %d", dst, hd, cd)
+			}
+		}
+		// The CSR sweep covers exactly the hash contents, each key once.
+		seen := make(map[uint64]float64, csr.Len())
+		csr.Range(func(key uint64, w float64) bool {
+			if _, dup := seen[key]; dup {
+				t.Fatalf("Range visited key %x twice", key)
+			}
+			seen[key] = w
+			return true
+		})
+		if len(seen) != hash.Len() {
+			t.Fatalf("Range visited %d distinct keys, hash holds %d", len(seen), hash.Len())
+		}
+		hash.Range(func(key uint64, w float64) bool {
+			if got, ok := seen[key]; !ok || got != w {
+				t.Fatalf("hash key %x weight %v: csr sweep saw %v,%v", key, w, got, ok)
+			}
+			return true
+		})
+	})
+}
+
+// FuzzStoreIterOrder: the frozen iteration order is a deterministic
+// function of the insertion sequence — two freezes of the same sequence
+// produce the identical entry order (what keeps float accumulation over a
+// sweep reproducible), Range is row-major, and RangeOf concatenation
+// equals Range.
+func FuzzStoreIterOrder(f *testing.F) {
+	fuzzSeed(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		part, nLoc, shards, triples, ok := fuzzTriples(data)
+		if !ok {
+			t.Skip()
+		}
+		shardCount := len(shards)
+		type ent struct {
+			key uint64
+			w   float64
+		}
+		collect := func(c *CSR) []ent {
+			var out []ent
+			c.Range(func(key uint64, w float64) bool {
+				out = append(out, ent{key, w})
+				return true
+			})
+			return out
+		}
+		a := collect(FreezeCSR(part, nLoc, shards...))
+		b := collect(FreezeCSR(part, nLoc, buildShards(part, shardCount, triples)...))
+		if len(a) != len(b) {
+			t.Fatalf("rebuild changed entry count: %d vs %d", len(a), len(b))
+		}
+		last := -1
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("entry %d differs across rebuilds: %+v vs %+v", i, a[i], b[i])
+			}
+			_, dst := hashfn.Unpack32(a[i].key)
+			if li := part.LocalIndex(graph.V(dst)); li < last {
+				t.Fatalf("Range not row-major at entry %d: row %d after %d", i, li, last)
+			} else {
+				last = li
+			}
+		}
+		csr := FreezeCSR(part, nLoc, shards...)
+		var rows []ent
+		for li := 0; li < nLoc; li++ {
+			gid := part.GlobalID(li)
+			csr.RangeOf(gid, func(src graph.V, w float64) bool {
+				rows = append(rows, ent{hashfn.Pack32(src, gid), w})
+				return true
+			})
+		}
+		if len(rows) != len(a) {
+			t.Fatalf("RangeOf concatenation has %d entries, Range %d", len(rows), len(a))
+		}
+		for i := range rows {
+			if rows[i] != a[i] {
+				t.Fatalf("entry %d: RangeOf %+v != Range %+v", i, rows[i], a[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package edgetable
+
+import (
+	"math"
+	"testing"
+)
+
+// Direct AggregateStats coverage: until now the fold was only exercised
+// indirectly through the obs "level" events. These tests pin its behavior
+// on the edges — empty inputs, zero-weight ("tombstoned") entries left
+// behind by delta propagation, tables driven to their growth threshold,
+// and delete-heavy accumulate-to-zero workloads.
+
+func TestAggregateStatsEmpty(t *testing.T) {
+	if s := AggregateStats(); s.Entries != 0 || s.Slots != 0 || s.LoadFactor != 0 {
+		t.Errorf("no tables: %+v", s)
+	}
+	s := AggregateStats(New(Config{}), nil, New(Config{Layout: Chained}))
+	if s.Entries != 0 {
+		t.Errorf("empty tables report %d entries", s.Entries)
+	}
+	if s.LoadFactor != 0 || s.AvgBinLen != 0 || s.MeanProbe != 0 || s.MaxBinLen != 0 || s.NonEmpty != 0 {
+		t.Errorf("empty tables have non-zero occupancy: %+v", s)
+	}
+	if s.Slots == 0 {
+		t.Error("empty tables still allocate slots; aggregate lost them")
+	}
+	for _, v := range []float64{s.LoadFactor, s.AvgBinLen, s.MeanProbe} {
+		if math.IsNaN(v) {
+			t.Fatalf("empty aggregate produced NaN: %+v", s)
+		}
+	}
+}
+
+func TestAggregateStatsMatchesSingleTable(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			tab := New(cfg)
+			for i := uint64(0); i < 500; i++ {
+				tab.Add(i*2654435761+17, float64(i))
+			}
+			if got, want := AggregateStats(tab), tab.Stats(); got.Entries != want.Entries ||
+				got.Slots != want.Slots || got.LoadFactor != want.LoadFactor ||
+				got.AvgBinLen != want.AvgBinLen || got.MaxBinLen != want.MaxBinLen ||
+				got.NonEmpty != want.NonEmpty || got.MeanProbe != want.MeanProbe ||
+				got.Growths != want.Growths {
+				t.Errorf("aggregate of one table drifted:\n  got  %+v\n  want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestAggregateStatsTombstonedEntries: delta propagation never deletes —
+// it accumulates entries to exactly zero weight. Those slots stay occupied
+// and must keep counting as entries in every statistic.
+func TestAggregateStatsTombstonedEntries(t *testing.T) {
+	tabs := []*Table{New(Config{}), New(Config{Layout: Chained})}
+	for _, tab := range tabs {
+		for i := uint64(0); i < 100; i++ {
+			tab.Add(i+1, 2.5)
+			if i%2 == 0 {
+				tab.Add(i+1, -2.5) // tombstone: entry stays, weight zero
+			}
+		}
+	}
+	s := AggregateStats(tabs...)
+	if s.Entries != 200 {
+		t.Fatalf("Entries = %d, want 200 (zero-weight entries must still count)", s.Entries)
+	}
+	zeros := 0
+	for _, tab := range tabs {
+		tab.Range(func(_ uint64, w float64) bool {
+			if w == 0 {
+				zeros++
+			}
+			return true
+		})
+	}
+	if zeros != 100 {
+		t.Fatalf("found %d zero-weight entries, want 100", zeros)
+	}
+	if s.MeanProbe < 1 {
+		t.Errorf("MeanProbe = %v < 1 with occupied slots", s.MeanProbe)
+	}
+}
+
+// TestAggregateStatsAtGrowthEdge drives small-capacity tables across their
+// load-factor growth threshold and checks the aggregate stays coherent.
+func TestAggregateStatsAtGrowthEdge(t *testing.T) {
+	for _, layout := range []Layout{Probing, Chained} {
+		tab := New(Config{Layout: layout, Capacity: 8, LoadFactor: 0.5})
+		for i := uint64(0); i < 4096; i++ {
+			tab.Add(i*11400714819323198485+3, 1)
+		}
+		s := AggregateStats(tab)
+		if s.Entries != 4096 {
+			t.Fatalf("%v: Entries = %d, want 4096", layout, s.Entries)
+		}
+		if s.Growths == 0 {
+			t.Errorf("%v: crossed the load-factor edge with no growths recorded", layout)
+		}
+		if s.LoadFactor <= 0 || s.LoadFactor > 0.5+1e-9 {
+			t.Errorf("%v: realized load factor %v outside (0, max 0.5]", layout, s.LoadFactor)
+		}
+		if s.MeanProbe < 1 || math.IsNaN(s.MeanProbe) {
+			t.Errorf("%v: MeanProbe = %v", layout, s.MeanProbe)
+		}
+		if s.MaxBinLen < 1 || float64(s.MaxBinLen) < s.AvgBinLen {
+			t.Errorf("%v: bin accounting inconsistent: max %d avg %v", layout, s.MaxBinLen, s.AvgBinLen)
+		}
+		sum := 0
+		for _, p := range s.PerPartition {
+			sum += p
+		}
+		if sum != s.Entries {
+			t.Errorf("%v: PerPartition sums to %d, want %d", layout, sum, s.Entries)
+		}
+	}
+}
+
+// TestAggregateStatsAfterDeleteHeavyWorkload is the regression test for
+// delete-heavy (negative-weight accumulate) sequences: stats after a churn
+// cycle must agree with the table's own accounting and stay finite, and a
+// multi-shard aggregate must fold partition vectors without loss.
+func TestAggregateStatsAfterDeleteHeavyWorkload(t *testing.T) {
+	shards := []*Table{
+		New(Config{Partitions: 2}),
+		New(Config{Partitions: 4, Layout: Chained}),
+	}
+	// Churn: add, cancel, re-add across shards — mimicking many delta
+	// propagations moving weight between community aggregations.
+	for round := 0; round < 50; round++ {
+		for i := uint64(0); i < 64; i++ {
+			tab := shards[i%2]
+			tab.Add(i+1, float64(round+1))
+			tab.Add(i+1, -float64(round+1))
+		}
+	}
+	for i := uint64(0); i < 64; i++ {
+		shards[i%2].Add(i+1, 9)
+	}
+	s := AggregateStats(shards...)
+	if want := shards[0].Len() + shards[1].Len(); s.Entries != want {
+		t.Fatalf("Entries = %d, want %d", s.Entries, want)
+	}
+	if s.Entries != 64 {
+		t.Fatalf("churn created phantom entries: %d, want 64", s.Entries)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if w, ok := shards[i%2].Get(i + 1); !ok || w != 9 {
+			t.Fatalf("key %d = %v,%v after churn, want 9", i+1, w, ok)
+		}
+	}
+	if got, want := len(s.PerPartition), 2+4; got != want {
+		t.Errorf("PerPartition folded %d partitions, want %d", got, want)
+	}
+	if s.Slots != shards[0].Slots()+shards[1].Slots() {
+		t.Errorf("Slots = %d, want %d", s.Slots, shards[0].Slots()+shards[1].Slots())
+	}
+	for _, v := range []float64{s.LoadFactor, s.AvgBinLen, s.MeanProbe} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite statistic after churn: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package edgetable
+
+import (
+	"parlouvain/internal/graph"
+	"parlouvain/internal/hashfn"
+)
+
+// Store is a read-only view of one level's frozen edge storage: the queries
+// the refine loop and its verification/telemetry layers issue against a
+// level graph once it stops mutating — weight lookup, degree, neighbor
+// iteration and aggregate occupancy statistics. Two implementations exist:
+//
+//   - the open-addressed hash Table (one or a Sharded group of them), the
+//     paper's dynamic representation used while a level is being built or
+//     mutated, and
+//   - the frozen CSR adjacency array (csr.go), which a finished level is
+//     compacted into before the refine loop when Options.Storage selects it.
+//
+// Keys are the packed (src,dst) tuples of hashfn.Pack32, dst being the
+// owned dimension for in-tables. Implementations differ in iteration order
+// (hash: insertion order; CSR: row-major) but must agree on every lookup,
+// degree and aggregate; the differential suite and FuzzCSRFromHash pin
+// that agreement.
+type Store interface {
+	// Len returns the number of distinct (src,dst) entries stored.
+	Len() int
+	// Get returns the accumulated weight of a packed (src,dst) key.
+	Get(key uint64) (float64, bool)
+	// GetPair returns the accumulated weight of the (src,dst) tuple.
+	GetPair(src, dst graph.V) (float64, bool)
+	// Degree returns the number of distinct in-entries of dst.
+	Degree(dst graph.V) int
+	// Range calls fn for every (key, weight) pair in the implementation's
+	// deterministic order, stopping early when fn returns false.
+	Range(fn func(key uint64, w float64) bool)
+	// RangeOf iterates the in-entries of one destination vertex, stopping
+	// early when fn returns false. CSR serves a row in O(degree); the hash
+	// layouts fall back to a full filtered scan — callers on a hot path
+	// should iterate rows only on a frozen CSR.
+	RangeOf(dst graph.V, fn func(src graph.V, w float64) bool)
+	// Stats reports aggregate occupancy statistics (Figure 6 semantics for
+	// hash layouts; row-length semantics for CSR, see CSR.Stats).
+	Stats() Stats
+}
+
+// Degree counts the distinct in-entries of dst with a full table scan. It
+// completes the Store interface for the mutable hash layout; O(entries),
+// intended for verification and small tables — a frozen CSR answers the
+// same query in O(1).
+func (t *Table) Degree(dst graph.V) int {
+	deg := 0
+	t.RangeOf(dst, func(graph.V, float64) bool {
+		deg++
+		return true
+	})
+	return deg
+}
+
+// RangeOf iterates the in-entries of dst in table order via a full filtered
+// scan (see Store.RangeOf).
+func (t *Table) RangeOf(dst graph.V, fn func(src graph.V, w float64) bool) {
+	t.Range(func(key uint64, w float64) bool {
+		src, d := hashfn.Unpack32(key)
+		if graph.V(d) != dst {
+			return true
+		}
+		return fn(graph.V(src), w)
+	})
+}
+
+// Sharded presents several hash Tables (the per-thread shards of one
+// logical table) as a single Store. Entries must be disjoint across shards,
+// which the engine's li-modulo sharding guarantees; Range iterates shards
+// in index order.
+type Sharded []*Table
+
+// NewSharded groups shard tables into one Store view.
+func NewSharded(tables ...*Table) Sharded { return Sharded(tables) }
+
+// Len sums the shard entry counts.
+func (s Sharded) Len() int {
+	n := 0
+	for _, t := range s {
+		if t != nil {
+			n += t.Len()
+		}
+	}
+	return n
+}
+
+// Get probes every shard; disjointness makes the first hit authoritative.
+func (s Sharded) Get(key uint64) (float64, bool) {
+	for _, t := range s {
+		if t == nil {
+			continue
+		}
+		if w, ok := t.Get(key); ok {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// GetPair probes every shard for the packed (src,dst) tuple.
+func (s Sharded) GetPair(src, dst graph.V) (float64, bool) {
+	return s.Get(hashfn.Pack32(src, dst))
+}
+
+// Degree sums the per-shard degrees of dst (every shard scan is O(entries);
+// see Store.Degree).
+func (s Sharded) Degree(dst graph.V) int {
+	deg := 0
+	for _, t := range s {
+		if t != nil {
+			deg += t.Degree(dst)
+		}
+	}
+	return deg
+}
+
+// Range iterates every shard in index order, each in its own table order.
+func (s Sharded) Range(fn func(key uint64, w float64) bool) {
+	for _, t := range s {
+		if t == nil {
+			continue
+		}
+		stopped := false
+		t.Range(func(key uint64, w float64) bool {
+			if !fn(key, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// RangeOf iterates dst's in-entries across all shards in shard order.
+func (s Sharded) RangeOf(dst graph.V, fn func(src graph.V, w float64) bool) {
+	for _, t := range s {
+		if t == nil {
+			continue
+		}
+		stopped := false
+		t.RangeOf(dst, func(src graph.V, w float64) bool {
+			if !fn(src, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Stats folds the shard statistics (see AggregateStats).
+func (s Sharded) Stats() Stats { return AggregateStats(s...) }

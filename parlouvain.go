@@ -70,6 +70,22 @@ type (
 // streaming regardless of transport.
 const DefaultStreamChunk = core.DefaultStreamChunk
 
+// StorageKind selects the per-level edge-storage backend the refine loop
+// reads (Options.Storage): the mutable hash shards, a frozen CSR adjacency
+// array, or a per-level automatic choice. Results are bit-identical in
+// every mode.
+type StorageKind = core.StorageKind
+
+// Storage backend selectors for Options.Storage.
+const (
+	StorageAuto = core.StorageAuto
+	StorageHash = core.StorageHash
+	StorageCSR  = core.StorageCSR
+)
+
+// ParseStorage parses the -storage flag values "hash", "csr" and "auto".
+func ParseStorage(s string) (StorageKind, error) { return core.ParseStorage(s) }
+
 // BuildGraph constructs a CSR graph from an edge list; n <= 0 infers the
 // vertex count.
 func BuildGraph(el EdgeList, n int) *Graph { return graph.Build(el, n) }
