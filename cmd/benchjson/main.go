@@ -1,11 +1,11 @@
 // Command benchjson runs the streaming-exchange and level-storage benchmark
 // suites and writes the results as one machine-readable JSON file (see
-// `make bench-json`, which produces BENCH_PR7.json at the repo root). With
+// `make bench-json`, which produces BENCH_PR8.json at the repo root). With
 // -compare it instead diffs two such files and exits non-zero when any
 // metric regressed beyond tolerance — the perf gate behind
 // `make bench-compare` and the CI warning step:
 //
-//	benchjson -out BENCH_PR7.json          # run the suite
+//	benchjson -out BENCH_PR8.json          # run the suite
 //	benchjson -compare old.json new.json   # gate new against old
 //
 // Three measurement families go into the file:
@@ -91,7 +91,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	tol := defaultTolerances()
 	var (
-		out        = flag.String("out", "BENCH_PR7.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR8.json", "output JSON path")
 		benchTime  = flag.String("benchtime", "200x", "-benchtime passed to go test")
 		n          = flag.Int("n", 20000, "e2e LFR graph size")
 		mu         = flag.Float64("mu", 0.3, "e2e LFR mixing parameter")

@@ -354,15 +354,75 @@ func TestGraphinfoCLI(t *testing.T) {
 }
 
 func TestLouvainAlgoVariants(t *testing.T) {
-	for _, algo := range []string{"lpa", "ensemble"} {
+	for _, algo := range []string{"lpa", "ensemble", "leiden", "lns", "seq-louvain"} {
 		out := run(t, "louvain", "-algo", algo, "-gen", "ring:k=6,s=5")
 		if !strings.Contains(out, "final modularity:") {
 			t.Errorf("algo %s output: %s", algo, out)
+		}
+		if !strings.Contains(out, "algorithm: "+algo) {
+			t.Errorf("algo %s not echoed: %s", algo, out)
 		}
 	}
 	out := run(t, "louvain", "-refine", "-gen", "ring:k=6,s=5")
 	if !strings.Contains(out, "refinement:") {
 		t.Errorf("refine output: %s", out)
 	}
-	runExpectError(t, "louvain", "-algo", "bogus", "-gen", "ring:k=6,s=5")
+	// Unknown names fail and the error enumerates the registry.
+	out = runExpectError(t, "louvain", "-algo", "bogus", "-gen", "ring:k=6,s=5")
+	for _, name := range []string{"par-louvain", "seq-louvain", "leiden", "lns", "lpa", "ensemble"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("unknown-algo error does not list %s: %s", name, out)
+		}
+	}
+	out = run(t, "louvain", "-list-algos")
+	if !strings.Contains(out, "par-louvain") || !strings.Contains(out, "leiden") {
+		t.Errorf("-list-algos output: %s", out)
+	}
+}
+
+func TestCompareCLI(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "cells.jsonl")
+	out := run(t, "compare", "-smoke", "-jsonl", jsonl)
+	if !strings.Contains(out, "smoke OK") {
+		t.Errorf("compare -smoke output: %s", out)
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var cells int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec struct {
+			Graph  string   `json:"graph"`
+			Algo   string   `json:"algo"`
+			Q      float64  `json:"q"`
+			NMI    *float64 `json:"nmi"`
+			WallMS float64  `json:"wall_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if rec.Graph == "" || rec.Algo == "" || rec.WallMS <= 0 {
+			t.Errorf("incomplete cell: %+v", rec)
+		}
+		if rec.Graph == "rmat" && rec.NMI != nil {
+			t.Errorf("rmat cell has NMI: %+v", rec)
+		}
+		if rec.Graph == "lfr" && rec.NMI == nil {
+			t.Errorf("lfr cell missing NMI: %+v", rec)
+		}
+		cells++
+	}
+	if cells != 12 {
+		t.Errorf("smoke sweep wrote %d cells, want 12 (6 engines x 2 graphs)", cells)
+	}
+
+	out = run(t, "compare", "-engines-md")
+	if !strings.Contains(out, "| Engine |") || !strings.Contains(out, "`par-louvain`") {
+		t.Errorf("compare -engines-md output: %s", out)
+	}
+	runExpectError(t, "compare", "-algos", "bogus")
 }

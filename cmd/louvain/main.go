@@ -2,6 +2,10 @@
 // generator spec and prints the per-level hierarchy, final modularity,
 // timings and (optionally) the vertex→community assignment.
 //
+// Every algorithm in the registry (see -list-algos) runs through the same
+// path: -ranks in-process compute ranks over -transport, with -check,
+// -trace, -report and -metrics-out working uniformly.
+//
 // Usage:
 //
 //	louvain [flags] <graph-file>
@@ -11,7 +15,8 @@
 //
 //	louvain -ranks 8 -threads 4 graph.txt
 //	louvain -seq -out communities.txt graph.bin
-//	louvain -ranks 4 -gen 'rmat:scale=16'
+//	louvain -algo leiden -gen 'lfr:n=10000,mu=0.4'
+//	louvain -algo lpa -ranks 4 -check -gen 'rmat:scale=16'
 //	louvain -naive -ranks 8 -gen 'bter:n=20000,rho=0.55'
 package main
 
@@ -32,32 +37,42 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("louvain: ")
 	var (
-		ranks     = flag.Int("ranks", 1, "number of simulated compute ranks (parallel algorithm)")
-		threads   = flag.Int("threads", 1, "worker threads per rank")
-		seq       = flag.Bool("seq", false, "run the sequential baseline instead of the parallel algorithm")
-		naive     = flag.Bool("naive", false, "disable the convergence heuristic (parallel only)")
+		ranks     = flag.Int("ranks", 1, "number of simulated compute ranks")
+		threads   = flag.Int("threads", 1, "worker threads per rank (par-louvain)")
+		seq       = flag.Bool("seq", false, "shorthand for -algo seq-louvain (sequential baseline)")
+		naive     = flag.Bool("naive", false, "disable the convergence heuristic (par-louvain only)")
 		maxLevels = flag.Int("max-levels", 0, "cap on outer iterations (0 = default)")
-		maxInner  = flag.Int("max-inner", 0, "cap on inner iterations per level (0 = default)")
+		maxInner  = flag.Int("max-inner", 0, "cap on inner iterations per level, or sweeps for lpa (0 = default)")
+		runs      = flag.Int("runs", 0, "ensemble size for -algo ensemble (0 = default)")
+		seed      = flag.Uint64("seed", 0, "randomize sweep orders and tie-breaking (0 = natural order)")
 		genSpec   = flag.String("gen", "", "generate the input instead of reading a file, e.g. 'lfr:n=10000,mu=0.3' (see cmd/gengraph)")
 		outPath   = flag.String("out", "", "write the final vertex-community assignment to this file")
-		breakdown = flag.Bool("breakdown", false, "print the per-phase timing breakdown")
+		breakdown = flag.Bool("breakdown", false, "print the per-phase timing breakdown (Louvain family)")
 		stats     = flag.Bool("stats", false, "print graph statistics and partition quality (coverage, conductance)")
 		warmPath  = flag.String("warm", "", "warm-start from a previous assignment file (dynamic re-detection)")
-		algo      = flag.String("algo", "louvain", "algorithm: louvain | lpa (label propagation) | ensemble (core groups)")
+		algoName  = flag.String("algo", "louvain", "detection algorithm; see -list-algos for the registry")
+		listAlgos = flag.Bool("list-algos", false, "list the registered detection algorithms and exit")
+		transport = flag.String("transport", "mem", "in-process transport: mem | sim (BSP cost model) | chaos (fault injection)")
 		refine    = flag.Bool("refine", false, "split internally disconnected communities afterwards (Leiden-style post-pass)")
-		check     = flag.Bool("check", false, "verify algorithm invariants after every level (mass conservation, rank agreement, Q monotonicity; parallel engine)")
-		traceF    = flag.String("trace", "", "write per-iteration telemetry events to this file as JSONL (parallel engine)")
+		check     = flag.Bool("check", false, "verify algorithm invariants (assignment shape, rank agreement, recomputed modularity, Q monotonicity; any engine)")
+		traceF    = flag.String("trace", "", "write telemetry events to this file as JSONL (any engine)")
 		streamSz  = flag.Int("stream-chunk", 0, "streaming-exchange chunk size in bytes for the heavy phases; 0 picks per transport, negative disables streaming (bulk rounds)")
 		storage   = flag.String("storage", "auto", "per-level edge storage read by the refine loop: hash | csr (frozen adjacency array) | auto (size-based per level); results are identical in every mode")
 		prune     = flag.Bool("prune", false, "skip refine-sweep vertices whose neighborhoods did not change community (exact pruning; results are identical)")
 		chromeF   = flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline to this file (load in chrome://tracing or Perfetto)")
-		report    = flag.Bool("report", false, "print a per-phase run report (time share, imbalance, wire traffic) after the run (parallel engine)")
+		report    = flag.Bool("report", false, "print a per-phase run report (time share, imbalance, wire traffic) after the run")
 		metricsF  = flag.String("metrics-out", "", "write a final Prometheus text-format metrics snapshot to this file")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Version("louvain"))
+		return
+	}
+	if *listAlgos {
+		for _, info := range parlouvain.Algorithms() {
+			fmt.Printf("%-12s %s\n", info.Name, info.Description)
+		}
 		return
 	}
 
@@ -81,12 +96,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := parlouvain.Options{
+	name := *algoName
+	if *seq && name == "louvain" {
+		name = "seq-louvain"
+	}
+	opt := parlouvain.AlgoOptions{
+		Ranks:           *ranks,
+		Transport:       *transport,
 		Threads:         *threads,
 		Naive:           *naive,
+		Seed:            *seed,
 		MaxLevels:       *maxLevels,
-		MaxInner:        *maxInner,
-		CollectLevels:   true,
+		MaxIter:         *maxInner,
+		Runs:            *runs,
 		CheckInvariants: *check,
 		StreamChunk:     streamChunkOption(*streamSz),
 		Storage:         storageKind,
@@ -110,36 +132,14 @@ func main() {
 		opt.Warm = parlouvain.ExtendAssignment(prev, el.NumVertices())
 	}
 	g := parlouvain.BuildGraph(el, 0)
-	var membership []parlouvain.V
-	var res *parlouvain.Result
+
 	start := time.Now()
-	switch *algo {
-	case "louvain":
-		if *seq {
-			res = parlouvain.Detect(el, opt)
-		} else {
-			res, err = parlouvain.DetectParallel(el, *ranks, opt)
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
-		membership = res.Membership
-	case "lpa":
-		membership, err = parlouvain.LabelPropagation(el, *ranks, *maxInner)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case "ensemble":
-		eres, err := parlouvain.DetectEnsemble(el, parlouvain.EnsembleOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		membership = eres.Membership
-		fmt.Printf("core groups: %d\n", eres.CoreGroups)
-	default:
-		log.Fatalf("unknown -algo %q (want louvain, lpa or ensemble)", *algo)
+	res, err := parlouvain.DetectAlgo(name, el, opt)
+	if err != nil {
+		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	membership := res.Assignment
 
 	if *refine {
 		var splits int
@@ -147,22 +147,33 @@ func main() {
 		fmt.Printf("refinement: split %d disconnected communities\n", splits)
 	}
 
+	fmt.Printf("algorithm: %s\n", res.Algo)
 	fmt.Printf("vertices: %d  edges: %d\n", g.N, g.NumEdges())
-	if res != nil {
-		for i, lv := range res.Levels {
-			fmt.Printf("level %d: Q=%.6f  vertices=%d -> communities=%d  inner-iterations=%d\n",
-				i, lv.Q, lv.Vertices, lv.Communities, lv.InnerIterations)
+	for i, lv := range res.Levels {
+		fmt.Printf("level %d: Q=%.6f  vertices=%d -> communities=%d  inner-iterations=%d\n",
+			i, lv.Q, lv.Vertices, lv.Communities, lv.Iterations)
+	}
+	for _, ex := range []struct{ key, label string }{
+		{"core_groups", "core groups"},
+		{"sweeps", "sweeps"},
+		{"splits", "refinement splits"},
+	} {
+		if v, ok := res.Extra[ex.key]; ok {
+			fmt.Printf("%s: %.0f\n", ex.label, v)
 		}
 	}
 	fmt.Printf("final modularity: %.6f\n", parlouvain.Modularity(g, membership))
 	fmt.Printf("communities: %d\n", len(parlouvain.CommunitySizes(membership)))
-	if res != nil {
+	if res.FirstLevel > 0 {
 		fmt.Printf("time: %v (first level %v)\n", elapsed.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
-		if *breakdown {
-			fmt.Print(res.Breakdown.String())
-		}
 	} else {
 		fmt.Printf("time: %v\n", elapsed.Round(time.Millisecond))
+	}
+	if res.CommBytes > 0 {
+		fmt.Printf("communication: %d bytes in %d rounds\n", res.CommBytes, res.CommRounds)
+	}
+	if *breakdown && res.Breakdown != nil {
+		fmt.Print(res.Breakdown.String())
 	}
 	if *stats {
 		fmt.Println(parlouvain.Summarize(g))

@@ -63,6 +63,8 @@ func main() {
 		nFlag     = flag.Int("n", 0, "global vertex count (required with -local; inferred with -graph)")
 		threads   = flag.Int("threads", 1, "worker threads in this rank")
 		naive     = flag.Bool("naive", false, "disable the convergence heuristic")
+		algoName  = flag.String("algo", "louvain", "detection algorithm (must match across ranks); see louvain -list-algos")
+		seed      = flag.Uint64("seed", 0, "randomize sweep orders and tie-breaking (must match across ranks)")
 		outPath   = flag.String("out", "", "write the final assignment (any rank may do this; all agree)")
 		timeout   = flag.Duration("dial-timeout", 60*time.Second, "mesh establishment timeout")
 		roundTO   = flag.Duration("round-timeout", 0, "per-round exchange deadline; a stalled peer fails the round instead of hanging it (0 = none)")
@@ -197,10 +199,10 @@ func main() {
 		meshState.Store("failed")
 		log.Fatal(err)
 	}
-	res, err := parlouvain.DetectDistributed(tr, local, n, parlouvain.Options{
+	res, err := parlouvain.DetectAlgoDistributed(*algoName, tr, local, n, parlouvain.AlgoOptions{
 		Threads:         *threads,
 		Naive:           *naive,
-		CollectLevels:   true,
+		Seed:            *seed,
 		CheckInvariants: *check,
 		StreamChunk:     streamChunkOption(*streamSz),
 		Storage:         storageKind,
@@ -213,14 +215,14 @@ func main() {
 		log.Fatal(err)
 	}
 	meshState.Store("done")
-	fmt.Printf("rank %d: Q=%.6f levels=%d time=%v (first level %v)\n",
-		*rank, res.Q, len(res.Levels), res.Duration.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
+	fmt.Printf("rank %d: %s Q=%.6f levels=%d time=%v (first level %v)\n",
+		*rank, res.Algo, res.Q, len(res.Levels), res.Duration.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := parlouvain.WritePartition(f, res.Membership); err != nil {
+		if err := parlouvain.WritePartition(f, res.Assignment); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

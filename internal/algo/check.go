@@ -1,0 +1,146 @@
+package algo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/core"
+	"parlouvain/internal/graph"
+)
+
+// checkTol absorbs float summation-order differences between an engine's
+// incremental modularity and the recomputed reference.
+const checkTol = 1e-6
+
+// finish completes a rank-level detection uniformly for every engine:
+// group-total traffic accounting, then — under CheckInvariants — the
+// unified post-conditions every community-detection result must satisfy:
+//
+//  1. shape: the assignment covers every vertex with labels in [0, n);
+//  2. agreement: every rank's assignment vector hashes identically;
+//  3. consistency: the reported Q matches a distributed recomputation of
+//     Newman modularity from the local edge partitions;
+//  4. monotonicity: engines whose Info guarantees it produce a
+//     non-decreasing per-level Q (parallel Louvain is exempt under Naive).
+//
+// Violations wrap core.ErrInvariant, the same sentinel the parallel
+// engine's per-level checker uses.
+func finish(g Graph, opt Options, info Info, res *Result) (*Result, error) {
+	c := g.Comm
+	if err := groupTraffic(c, res); err != nil {
+		return nil, err
+	}
+	if !opt.CheckInvariants {
+		return res, nil
+	}
+
+	// (1) Shape.
+	if len(res.Assignment) != g.N {
+		return nil, fmt.Errorf("%w: %s: assignment covers %d of %d vertices",
+			core.ErrInvariant, info.Name, len(res.Assignment), g.N)
+	}
+	for v, label := range res.Assignment {
+		if int(label) >= g.N {
+			return nil, fmt.Errorf("%w: %s: vertex %d labeled %d outside id space %d",
+				core.ErrInvariant, info.Name, v, label, g.N)
+		}
+	}
+
+	// (2) Cross-rank agreement.
+	h := fnv.New64a()
+	var b [4]byte
+	for _, label := range res.Assignment {
+		binary.LittleEndian.PutUint32(b[:], label)
+		h.Write(b[:])
+	}
+	digest := h.Sum64()
+	lo, err := c.AllReduceUint64(digest, comm.OpMin)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := c.AllReduceUint64(digest, comm.OpMax)
+	if err != nil {
+		return nil, err
+	}
+	if lo != hi {
+		return nil, fmt.Errorf("%w: %s rank %d: assignments disagree across ranks (hash %016x, group range [%016x, %016x])",
+			core.ErrInvariant, info.Name, c.Rank(), digest, lo, hi)
+	}
+
+	// (3) Modularity consistency.
+	q, err := distModularity(c, g.Local, g.N, res.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if math.Abs(q-res.Q) > checkTol*math.Max(1, math.Abs(q)) {
+		return nil, fmt.Errorf("%w: %s: reported Q %.12g, recomputed %.12g",
+			core.ErrInvariant, info.Name, res.Q, q)
+	}
+
+	// (4) Monotone trajectory.
+	if info.MonotoneQ && !opt.Naive {
+		for i := 1; i < len(res.Levels); i++ {
+			if res.Levels[i].Q < res.Levels[i-1].Q-checkTol {
+				return nil, fmt.Errorf("%w: %s: level %d modularity decreased: %.12g -> %.12g",
+					core.ErrInvariant, info.Name, i, res.Levels[i-1].Q, res.Levels[i].Q)
+			}
+		}
+	}
+	return res, nil
+}
+
+// distModularity recomputes Newman modularity (Equation 3) of a full
+// assignment from the rank's destination-owned edge partition with two
+// reductions. Each undirected non-self edge appears in the group once per
+// orientation, so local single-orientation sums reduce to the doubled
+// global quantities; degrees of owned vertices are complete locally because
+// every in-edge of an owned destination lives on its owner.
+func distModularity(c *comm.Comm, local graph.EdgeList, n int, assign []graph.V) (float64, error) {
+	part := graph.Partition{Rank: c.Rank(), Size: c.Size()}
+	deg := make([]float64, part.MaxLocalCount(n))
+	var m2, in2 float64 // 2m and double-counted intra-community weight
+	for _, e := range local {
+		if !part.Owns(e.V) {
+			return 0, fmt.Errorf("algo: rank %d holds edge with unowned dst %d", part.Rank, e.V)
+		}
+		if e.U == e.V {
+			m2 += 2 * e.W
+			in2 += 2 * e.W
+			deg[part.LocalIndex(e.V)] += 2 * e.W
+			continue
+		}
+		m2 += e.W
+		if assign[e.U] == assign[e.V] {
+			in2 += e.W
+		}
+		deg[part.LocalIndex(e.V)] += e.W
+	}
+	tot := make([]float64, n)
+	for li, k := range deg {
+		v := part.GlobalID(li)
+		if int(v) < n {
+			tot[assign[v]] += k
+		}
+	}
+	var err error
+	if m2, err = c.AllReduceFloat64(m2, comm.OpSum); err != nil {
+		return 0, err
+	}
+	if in2, err = c.AllReduceFloat64(in2, comm.OpSum); err != nil {
+		return 0, err
+	}
+	if err = c.AllReduceFloat64Slice(tot); err != nil {
+		return 0, err
+	}
+	if m2 == 0 {
+		return 0, nil
+	}
+	q := in2 / m2
+	for _, t := range tot {
+		q -= (t / m2) * (t / m2)
+	}
+	return q, nil
+}

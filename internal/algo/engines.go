@@ -1,0 +1,268 @@
+package algo
+
+import (
+	"context"
+	"time"
+
+	"parlouvain/internal/comm"
+	"parlouvain/internal/core"
+	"parlouvain/internal/ensemble"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/labelprop"
+)
+
+func init() {
+	Register(parLouvain{})
+	Register(seqLouvain{})
+	Register(leidenEngine{})
+	Register(lnsEngine{})
+	Register(lpaEngine{})
+	Register(ensembleEngine{})
+}
+
+// fromCore translates a Louvain-family result into the unified form.
+func fromCore(name string, cres *core.Result) *Result {
+	res := &Result{
+		Algo:        name,
+		Assignment:  cres.Membership,
+		Q:           cres.Q,
+		NumVertices: cres.NumVertices,
+		NumEdges:    cres.NumEdges,
+		Duration:    cres.Duration,
+		FirstLevel:  cres.FirstLevel,
+		Breakdown:   cres.Breakdown,
+		CommBytes:   cres.CommBytes,
+		CommRounds:  cres.CommRounds,
+	}
+	res.Levels = make([]LevelStat, 0, len(cres.Levels))
+	for _, lv := range cres.Levels {
+		res.Levels = append(res.Levels, LevelStat{
+			Q: lv.Q, Vertices: lv.Vertices, Communities: lv.Communities,
+			Iterations: lv.InnerIterations,
+		})
+	}
+	return res
+}
+
+// parLouvain is the paper's distributed-memory parallel Louvain algorithm
+// (Algorithms 2-5), the only truly distributed engine: computation stays on
+// the owning ranks end to end.
+type parLouvain struct{}
+
+func (parLouvain) Name() string { return "par-louvain" }
+
+func (parLouvain) Info() Info {
+	return Info{
+		Name:         "par-louvain",
+		Description:  "distributed parallel Louvain (Algorithms 2-5, dynamic-threshold heuristic)",
+		Flags:        "-threads -naive -storage -prune -stream-chunk -warm -max-levels -max-inner",
+		Hierarchical: true,
+		MonotoneQ:    true,
+	}
+}
+
+func (e parLouvain) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cres, err := core.Parallel(g.Comm, g.Local, g.N, opt.coreOptions(true))
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), fromCore(e.Name(), cres))
+}
+
+// seqLouvain is the sequential Louvain baseline (Algorithm 1) behind the
+// rank-0 harness.
+type seqLouvain struct{}
+
+func (seqLouvain) Name() string { return "seq-louvain" }
+
+func (seqLouvain) Info() Info {
+	return Info{
+		Name:         "seq-louvain",
+		Description:  "sequential Louvain baseline (Algorithm 1)",
+		Flags:        "-warm -max-levels -max-inner",
+		Hierarchical: true,
+		MonotoneQ:    true,
+		Rank0:        true,
+	}
+}
+
+func (e seqLouvain) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
+		return core.Sequential(full, opt.coreOptions(true)), nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), res)
+}
+
+// leidenEngine is the Leiden-style variant: move phase, connectivity
+// refinement within communities, aggregation on the refined partition.
+type leidenEngine struct{}
+
+func (leidenEngine) Name() string { return "leiden" }
+
+func (leidenEngine) Info() Info {
+	return Info{
+		Name:         "leiden",
+		Description:  "Leiden-style Louvain: move + refine-within-communities + aggregate (connected communities)",
+		Flags:        "-max-levels -max-inner",
+		Hierarchical: true,
+		MonotoneQ:    true,
+		Rank0:        true,
+	}
+}
+
+func (e leidenEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
+		cres := core.Leiden(full, opt.coreOptions(true))
+		return cres, map[string]float64{"splits": float64(cres.LeidenSplits)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), res)
+}
+
+// lnsEngine is the Browet-style local neighbourhood search: a queue-driven
+// greedy search that only re-examines vertices whose neighbourhood changed.
+type lnsEngine struct{}
+
+func (lnsEngine) Name() string { return "lns" }
+
+func (lnsEngine) Info() Info {
+	return Info{
+		Name:         "lns",
+		Description:  "local neighbourhood search (Browet 2013): queue-driven moves, aggregation per pass",
+		Flags:        "-max-levels -max-inner",
+		Hierarchical: true,
+		MonotoneQ:    true,
+		Rank0:        true,
+	}
+}
+
+func (e lnsEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
+		return core.LNS(full, opt.coreOptions(true)), nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), res)
+}
+
+// lpaEngine is distributed synchronous label propagation (Raghavan et al.),
+// running on the same 1D decomposition and exchange planes as the parallel
+// Louvain engine.
+type lpaEngine struct{}
+
+func (lpaEngine) Name() string { return "lpa" }
+
+func (lpaEngine) Info() Info {
+	return Info{
+		Name:        "lpa",
+		Description: "distributed synchronous label propagation (Raghavan et al.)",
+		Flags:       "-max-inner (sweep cap)",
+	}
+}
+
+func (e lpaEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	labels, moves, err := labelprop.Parallel(g.Comm, g.Local, g.N, labelprop.Options{
+		MaxSweeps: opt.MaxIter,
+		Seed:      opt.Seed,
+		Recorder:  opt.Recorder,
+		Metrics:   opt.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// LPA has no modularity objective; report the measured modularity of
+	// its labeling so quality is comparable across engines.
+	q, err := distModularity(g.Comm, g.Local, g.N, labels)
+	if err != nil {
+		return nil, err
+	}
+	var singles uint64
+	for _, ed := range g.Local {
+		if ed.U <= ed.V {
+			singles++
+		}
+	}
+	edges, err := g.Comm.AllReduceUint64(singles, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Algo:        e.Name(),
+		Assignment:  labels,
+		Q:           q,
+		NumVertices: g.N,
+		NumEdges:    int64(edges),
+		Duration:    time.Since(start),
+		Extra:       map[string]float64{"sweeps": float64(len(moves))},
+	}
+	res.Levels = []LevelStat{{
+		Q: q, Vertices: g.N, Communities: res.Communities(), Iterations: len(moves),
+	}}
+	return finish(g, opt, e.Info(), res)
+}
+
+// ensembleEngine is core-groups ensemble detection (Ovelgönne &
+// Geyer-Schulz) behind the rank-0 harness.
+type ensembleEngine struct{}
+
+func (ensembleEngine) Name() string { return "ensemble" }
+
+func (ensembleEngine) Info() Info {
+	return Info{
+		Name:        "ensemble",
+		Description: "core-groups ensemble (Ovelgönne & Geyer-Schulz): seeded weak runs vote, agreement contracted, full solve on the contraction",
+		Flags:       "-runs (ensemble size) -max-levels -max-inner",
+		Rank0:       true,
+	}
+}
+
+func (e ensembleEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
+		assign, q, groups, err := ensemble.Detect(full, ensemble.Options{
+			Runs: opt.Runs,
+			Seed: opt.Seed,
+			Final: core.Options{
+				MaxLevels: opt.MaxLevels,
+				MaxInner:  opt.MaxIter,
+				MinGain:   opt.MinGain,
+				Seed:      opt.Seed,
+			},
+			Recorder: opt.Recorder,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		comms := make(map[graph.V]struct{}, 64)
+		for _, c := range assign {
+			comms[c] = struct{}{}
+		}
+		cres := &core.Result{
+			Membership:  assign,
+			Q:           q,
+			NumVertices: full.N,
+			NumEdges:    int64(full.NumEdges()),
+			Levels: []core.Level{{
+				Q: q, Vertices: full.N, Communities: len(comms),
+				InnerIterations: ensemble.EffectiveRuns(opt.Runs),
+			}},
+		}
+		return cres, map[string]float64{"core_groups": float64(groups)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), res)
+}

@@ -1,0 +1,77 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Detector{}
+	// aliases maps historical CLI spellings onto canonical engine names.
+	aliases = map[string]string{
+		"louvain": "par-louvain",
+		"seq":     "seq-louvain",
+	}
+)
+
+// Register adds an engine to the registry. It panics on a duplicate or
+// alias-shadowing name; registration happens from init functions, so a
+// collision is a programming error.
+func Register(d Detector) {
+	name := d.Name()
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("algo: duplicate engine %q", name))
+	}
+	if _, shadow := aliases[name]; shadow {
+		panic(fmt.Sprintf("algo: engine %q shadows an alias", name))
+	}
+	registry[name] = d
+}
+
+// Get resolves an engine by canonical name or alias. An unknown name
+// returns an error enumerating every registered engine.
+func Get(name string) (Detector, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	d, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q (registered: %s)",
+			name, strings.Join(namesLocked(), ", "))
+	}
+	return d, nil
+}
+
+// Names returns the canonical names of every registered engine, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infos returns the Info of every registered engine, sorted by name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for _, name := range namesLocked() {
+		out = append(out, registry[name].Info())
+	}
+	return out
+}

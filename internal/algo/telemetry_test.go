@@ -1,0 +1,63 @@
+package algo
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"parlouvain/internal/obs"
+)
+
+// wantEvents maps each engine to an event name its run must emit, proving
+// the telemetry plane reaches every engine end to end.
+var wantEvents = map[string][]string{
+	"par-louvain": {"iteration", "level"},
+	"seq-louvain": {"algo_gather", "algo_compute", "algo_broadcast", "level"},
+	"leiden":      {"algo_gather", "algo_compute", "algo_broadcast", "level"},
+	"lns":         {"algo_gather", "algo_compute", "algo_broadcast", "level"},
+	"lpa":         {"sweep"},
+	"ensemble":    {"algo_compute", "ensemble_run", "ensemble_final", "level"},
+}
+
+func TestTelemetryEndToEndPerEngine(t *testing.T) {
+	el, _, n := testGraph(t)
+	for _, name := range allEngines {
+		t.Run(name, func(t *testing.T) {
+			rec := obs.NewRecorder()
+			reg := obs.NewRegistry()
+			_, err := Run(context.Background(), name, el, n, Options{
+				Ranks:    2,
+				Seed:     9,
+				Recorder: rec,
+				Metrics:  reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[string]bool{}
+			for _, e := range rec.Events() {
+				seen[e.Name] = true
+			}
+			for _, want := range wantEvents[name] {
+				if !seen[want] {
+					t.Errorf("engine %s emitted no %q event (saw %v)", name, want, keys(seen))
+				}
+			}
+			// The comm layer must be instrumented for every engine: traffic
+			// flowed, so the counters cannot be zero.
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+			if !strings.Contains(sb.String(), "comm_bytes_sent_total") {
+				t.Errorf("engine %s: metrics registry missing comm counters:\n%s", name, sb.String())
+			}
+		})
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -331,6 +331,9 @@ type Result struct {
 	// executed per rank.
 	CommBytes  uint64
 	CommRounds uint64
+	// LeidenSplits counts the internally-disconnected communities the
+	// refinement phase split, summed over all levels (Leiden engine only).
+	LeidenSplits int
 }
 
 // EvolutionRatios returns |communities at level i| / |original vertices|,

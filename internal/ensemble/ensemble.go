@@ -4,16 +4,16 @@
 // detections, contract the vertices that every run agrees on ("core
 // groups"), and run a full detection on the much smaller contracted graph.
 // The ensemble step stabilizes the randomized base algorithm and often
-// improves final modularity on noisy graphs.
+// improves final modularity on noisy graphs. Runs are surfaced through the
+// internal/algo registry as the "ensemble" engine.
 package ensemble
 
 import (
-	"fmt"
-
 	"parlouvain/internal/core"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
 	"parlouvain/internal/metrics"
+	"parlouvain/internal/obs"
 )
 
 // Options configures an ensemble run.
@@ -24,28 +24,29 @@ type Options struct {
 	Seed uint64
 	// Final configures the full detection on the contracted graph.
 	Final core.Options
+	// Recorder, when non-nil, receives one "ensemble_run" event per weak
+	// detection (running core-group count) and one "ensemble_final" event
+	// for the contracted solve.
+	Recorder *obs.Recorder
 }
 
-// Result is an ensemble outcome.
-type Result struct {
-	// Membership maps every vertex to its final community.
-	Membership []graph.V
-	// Q is the final modularity.
-	Q float64
-	// CoreGroups is the number of contracted groups the ensemble agreed
-	// on (the size of the intermediate graph).
-	CoreGroups int
-}
-
-// Detect runs the ensemble scheme on g.
-func Detect(g *graph.Graph, opt Options) (*Result, error) {
-	if g.N == 0 {
-		return &Result{Membership: []graph.V{}}, nil
-	}
-	runs := opt.Runs
+// EffectiveRuns resolves the ensemble size the scheme will execute for a
+// configured Runs value (0 or negative means the default of 4).
+func EffectiveRuns(runs int) int {
 	if runs <= 0 {
-		runs = 4
+		return 4
 	}
+	return runs
+}
+
+// Detect runs the ensemble scheme on g and returns the final membership,
+// its modularity, and the number of contracted core groups (the size of the
+// intermediate graph).
+func Detect(g *graph.Graph, opt Options) ([]graph.V, float64, int, error) {
+	if g.N == 0 {
+		return []graph.V{}, 0, 0, nil
+	}
+	runs := EffectiveRuns(opt.Runs)
 
 	// 1. Weak detections: one Louvain level each, different sweep orders.
 	groups := make([]graph.V, g.N) // running overlap signature
@@ -53,6 +54,10 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 		groups[i] = 0
 	}
 	for r := 0; r < runs; r++ {
+		var ts int64
+		if opt.Recorder != nil {
+			ts = opt.Recorder.Now()
+		}
 		res := core.Sequential(g, core.Options{MaxLevels: 1, Seed: opt.Seed + uint64(r)*0x9E3779B9 + 1})
 		// Refine the overlap: two vertices stay together only if this
 		// run also put them together. Combine (group, community) pairs
@@ -66,6 +71,13 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 				pairToGroup[key] = id
 			}
 			groups[v] = id
+		}
+		if opt.Recorder != nil {
+			opt.Recorder.Emit(obs.Event{
+				Name: "ensemble_run", Iter: r + 1,
+				TS: ts, Dur: opt.Recorder.Now() - ts,
+				Fields: map[string]float64{"groups": float64(len(pairToGroup))},
+			})
 		}
 	}
 
@@ -111,17 +123,22 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 	contracted := graph.Build(el, numGroups)
 
 	// 3. Full detection on the contracted graph, projected back.
+	var tsFinal int64
+	if opt.Recorder != nil {
+		tsFinal = opt.Recorder.Now()
+	}
 	final := core.Sequential(contracted, opt.Final)
 	membership := make([]graph.V, g.N)
 	for v := 0; v < g.N; v++ {
 		membership[v] = final.Membership[groups[v]]
 	}
 	q := metrics.Modularity(g, membership)
-	return &Result{Membership: membership, Q: q, CoreGroups: numGroups}, nil
-}
-
-// String summarizes the result.
-func (r *Result) String() string {
-	return fmt.Sprintf("ensemble{Q=%.4f coreGroups=%d communities=%d}",
-		r.Q, r.CoreGroups, len(metrics.CommunitySizes(r.Membership)))
+	if opt.Recorder != nil {
+		opt.Recorder.Emit(obs.Event{
+			Name: "ensemble_final",
+			TS:   tsFinal, Dur: opt.Recorder.Now() - tsFinal,
+			Fields: map[string]float64{"q": q, "core_groups": float64(numGroups)},
+		})
+	}
+	return membership, q, numGroups, nil
 }

@@ -1,13 +1,13 @@
 package ensemble
 
 import (
-	"strings"
 	"testing"
 
 	"parlouvain/internal/core"
 	"parlouvain/internal/gen"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/metrics"
+	"parlouvain/internal/obs"
 )
 
 func TestEnsembleRecoversStructure(t *testing.T) {
@@ -16,11 +16,11 @@ func TestEnsembleRecoversStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.Build(el, 2000)
-	res, err := Detect(g, Options{Runs: 4, Seed: 1})
+	membership, _, coreGroups, err := Detect(g, Options{Runs: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := metrics.Compare(res.Membership, truth)
+	sim, err := metrics.Compare(membership, truth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,9 +29,9 @@ func TestEnsembleRecoversStructure(t *testing.T) {
 	}
 	// The contraction must be coarser than vertices but finer than the
 	// final communities.
-	comms := len(metrics.CommunitySizes(res.Membership))
-	if res.CoreGroups <= comms || res.CoreGroups >= g.N {
-		t.Errorf("core groups %d outside (communities %d, vertices %d)", res.CoreGroups, comms, g.N)
+	comms := len(metrics.CommunitySizes(membership))
+	if coreGroups <= comms || coreGroups >= g.N {
+		t.Errorf("core groups %d outside (communities %d, vertices %d)", coreGroups, comms, g.N)
 	}
 }
 
@@ -42,23 +42,23 @@ func TestEnsembleQualityComparableToSingleRun(t *testing.T) {
 	}
 	g := graph.Build(el, 1500)
 	single := core.Sequential(g, core.Options{})
-	ens, err := Detect(g, Options{Runs: 6, Seed: 2})
+	_, q, coreGroups, err := Detect(g, Options{Runs: 6, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ens.Q < single.Q-0.05 {
-		t.Errorf("ensemble Q %v far below single-run %v", ens.Q, single.Q)
+	if q < single.Q-0.05 {
+		t.Errorf("ensemble Q %v far below single-run %v", q, single.Q)
 	}
-	t.Logf("ensemble Q=%.4f single Q=%.4f coreGroups=%d", ens.Q, single.Q, ens.CoreGroups)
+	t.Logf("ensemble Q=%.4f single Q=%.4f coreGroups=%d", q, single.Q, coreGroups)
 }
 
 func TestEnsembleEmptyGraph(t *testing.T) {
-	res, err := Detect(graph.Build(nil, 0), Options{})
+	membership, _, _, err := Detect(graph.Build(nil, 0), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Membership) != 0 {
-		t.Errorf("membership %v", res.Membership)
+	if len(membership) != 0 {
+		t.Errorf("membership %v", membership)
 	}
 }
 
@@ -68,29 +68,45 @@ func TestEnsembleDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.Build(el, 300)
-	a, err := Detect(g, Options{Runs: 3, Seed: 7})
+	_, qa, ga, err := Detect(g, Options{Runs: 3, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Detect(g, Options{Runs: 3, Seed: 7})
+	_, qb, gb, err := Detect(g, Options{Runs: 3, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Q != b.Q || a.CoreGroups != b.CoreGroups {
-		t.Errorf("nondeterministic: %v vs %v", a, b)
+	if qa != qb || ga != gb {
+		t.Errorf("nondeterministic: Q %v vs %v, groups %d vs %d", qa, qb, ga, gb)
 	}
 }
 
-func TestEnsembleString(t *testing.T) {
+func TestEnsembleEffectiveRuns(t *testing.T) {
+	if EffectiveRuns(0) != 4 || EffectiveRuns(-1) != 4 || EffectiveRuns(7) != 7 {
+		t.Errorf("EffectiveRuns: %d %d %d", EffectiveRuns(0), EffectiveRuns(-1), EffectiveRuns(7))
+	}
+}
+
+func TestEnsembleEmitsTelemetry(t *testing.T) {
 	el, _, err := gen.RingOfCliques(4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Detect(graph.Build(el, 0), Options{Runs: 2})
+	rec := obs.NewRecorder()
+	_, _, _, err = Detect(graph.Build(el, 0), Options{Runs: 2, Recorder: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s := res.String(); !strings.Contains(s, "ensemble{") {
-		t.Errorf("String = %q", s)
+	runs, finals := 0, 0
+	for _, e := range rec.Events() {
+		switch e.Name {
+		case "ensemble_run":
+			runs++
+		case "ensemble_final":
+			finals++
+		}
+	}
+	if runs != 2 || finals != 1 {
+		t.Errorf("events: %d runs, %d finals", runs, finals)
 	}
 }

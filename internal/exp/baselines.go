@@ -1,11 +1,10 @@
 package exp
 
 import (
+	"context"
 	"time"
 
-	"parlouvain/internal/core"
-	"parlouvain/internal/graph"
-	"parlouvain/internal/labelprop"
+	"parlouvain/internal/algo"
 	"parlouvain/internal/metrics"
 )
 
@@ -13,8 +12,10 @@ import (
 // the parallel Louvain algorithm against the label propagation algorithm —
 // the approach behind several systems in the paper's related work
 // ([10][12][45][46]) — on identical substrates, reporting quality against
-// ground truth and runtime. The expected shape: Louvain wins on modularity
-// and NMI (especially at higher mixing), LPA wins on raw speed.
+// ground truth and runtime. Both run through the internal/algo registry, so
+// the substrate (ranks, transport, decomposition) is identical by
+// construction. The expected shape: Louvain wins on modularity and NMI
+// (especially at higher mixing), LPA wins on raw speed.
 func Baselines(sizeFactor float64, ranks int) ([]Table, error) {
 	if ranks <= 0 {
 		ranks = 8
@@ -33,31 +34,19 @@ func Baselines(sizeFactor float64, ranks int) ([]Table, error) {
 			return nil, err
 		}
 		n := el.NumVertices()
-		g := graph.Build(el, n)
 
-		louvain, err := core.RunInProcess(el, n, ranks, core.Options{CollectLevels: true})
-		if err != nil {
-			return nil, err
+		for _, engine := range []string{"par-louvain", "lpa"} {
+			res, err := algo.Run(context.Background(), engine, el, n, algo.Options{Ranks: ranks})
+			if err != nil {
+				return nil, err
+			}
+			sim, err := metrics.Compare(res.Assignment, truth)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, engine, f4(res.Q), f3(sim.NMI),
+				d(res.Communities()), res.Duration.Round(time.Millisecond).String())
 		}
-		lpa, err := labelprop.RunInProcess(el, n, ranks, labelprop.Options{})
-		if err != nil {
-			return nil, err
-		}
-
-		simL, err := metrics.Compare(louvain.Membership, truth)
-		if err != nil {
-			return nil, err
-		}
-		simP, err := metrics.Compare(lpa.Labels, truth)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name, "parallel Louvain", f4(louvain.Q), f3(simL.NMI),
-			d(len(metrics.CommunitySizes(louvain.Membership))),
-			louvain.Duration.Round(time.Millisecond).String())
-		t.AddRow(name, "label propagation", f4(metrics.Modularity(g, lpa.Labels)), f3(simP.NMI),
-			d(len(metrics.CommunitySizes(lpa.Labels))),
-			lpa.Duration.Round(time.Millisecond).String())
 	}
 	t.Notes = append(t.Notes, "extension beyond the paper: LPA is the basis of refs [10][12][45]; Louvain should win quality, LPA speed")
 	return []Table{t}, nil

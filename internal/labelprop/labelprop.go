@@ -8,17 +8,17 @@
 // Both a sequential and a distributed implementation are provided; the
 // distributed one reuses the comm runtime and the 1D modulo decomposition
 // of the Louvain engine, so the two algorithms are directly comparable on
-// identical substrates.
+// identical substrates. Runs are surfaced through the internal/algo
+// registry as the "lpa" engine.
 package labelprop
 
 import (
 	"fmt"
-	"time"
 
 	"parlouvain/internal/comm"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
-	"parlouvain/internal/par"
+	"parlouvain/internal/obs"
 	"parlouvain/internal/wire"
 )
 
@@ -34,6 +34,12 @@ type Options struct {
 	// shuffles the sequential sweep order. Any value, including 0, is a
 	// valid seed.
 	Seed uint64
+	// Recorder, when non-nil, receives one "sweep" event per synchronous
+	// sweep (moved count) from Parallel.
+	Recorder *obs.Recorder
+	// Metrics, when non-nil, instruments the comm layer (traffic counters
+	// and exchange histograms) for Parallel runs.
+	Metrics *obs.Registry
 }
 
 // tieRank hashes (vertex, label, seed) to break weight ties pseudo-randomly
@@ -57,23 +63,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result holds a label propagation outcome.
-type Result struct {
-	// Labels maps every vertex to its community label.
-	Labels []graph.V
-	// Sweeps is the number of iterations executed.
-	Sweeps int
-	// MovesPerSweep traces convergence.
-	MovesPerSweep []int
-	// Duration is total wall time.
-	Duration time.Duration
-}
-
 // Sequential runs asynchronous LPA: each vertex adopts the label carrying
-// the largest incident weight, updates applied immediately.
-func Sequential(g *graph.Graph, opt Options) *Result {
+// the largest incident weight, updates applied immediately. It returns the
+// final labels and the per-sweep move counts.
+func Sequential(g *graph.Graph, opt Options) ([]graph.V, []int) {
 	opt = opt.withDefaults()
-	start := time.Now()
 	labels := make([]graph.V, g.N)
 	order := make([]uint32, g.N)
 	for i := range labels {
@@ -83,10 +77,10 @@ func Sequential(g *graph.Graph, opt Options) *Result {
 	if opt.Seed != 0 {
 		shuffle(order, opt.Seed)
 	}
-	res := &Result{Labels: labels}
 
 	weight := make([]float64, g.N) // scratch: label -> incident weight
 	var touched []graph.V
+	var movesPerSweep []int
 	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
 		moves := 0
 		for _, ui := range order {
@@ -119,24 +113,25 @@ func Sequential(g *graph.Graph, opt Options) *Result {
 				moves++
 			}
 		}
-		res.MovesPerSweep = append(res.MovesPerSweep, moves)
-		res.Sweeps = sweep
+		movesPerSweep = append(movesPerSweep, moves)
 		if float64(moves) < opt.MinMoves*float64(g.N) {
 			break
 		}
 	}
-	res.Duration = time.Since(start)
-	return res
+	return labels, movesPerSweep
 }
 
 // Parallel runs synchronous LPA as one rank of a distributed group: each
 // sweep exchanges the owned vertices' labels along their edges (the same
 // In_Table orientation the Louvain engine uses), then every vertex adopts
 // the heaviest incident label. local holds this rank's destination-owned
-// edges; n is the global vertex count. Every rank returns identical labels.
-func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, error) {
+// edges; n is the global vertex count. Every rank returns the same full
+// label vector, plus the per-sweep global move counts.
+func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) ([]graph.V, []int, error) {
 	opt = opt.withDefaults()
-	start := time.Now()
+	if opt.Metrics != nil {
+		c.Instrument(opt.Metrics)
+	}
 	part := graph.Partition{Rank: c.Rank(), Size: c.Size()}
 	nLoc := part.MaxLocalCount(n)
 
@@ -144,7 +139,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 	adjOff := make([]int64, nLoc+1)
 	for _, e := range local {
 		if !part.Owns(e.V) {
-			return nil, fmt.Errorf("labelprop: rank %d given edge with dst %d", part.Rank, e.V)
+			return nil, nil, fmt.Errorf("labelprop: rank %d given edge with dst %d", part.Rank, e.V)
 		}
 		adjOff[part.LocalIndex(e.V)+1]++
 	}
@@ -165,7 +160,6 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 	for li := range labels {
 		labels[li] = part.GlobalID(li)
 	}
-	res := &Result{}
 
 	// Per-sweep scratch: weight per (vertex, label) via a hash table
 	// keyed like the Louvain Out_Table.
@@ -173,7 +167,12 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 	sendPlanes := wire.GetPlanes(c.Size())
 	defer sendPlanes.Release()
 	var r wire.Reader
+	var movesPerSweep []int
 	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		var tsSweep int64
+		if opt.Recorder != nil {
+			tsSweep = opt.Recorder.Now()
+		}
 		// Push each owned vertex's label along its in-edges to the
 		// source owners: message (src, label(dst), w).
 		sendPlanes.Reset()
@@ -185,7 +184,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 		}
 		in, err := c.ExchangePlanes(sendPlanes)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for k := range weights {
 			delete(weights, k)
@@ -195,7 +194,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 			for r.More() {
 				tr := r.Triple()
 				if err := r.Err(); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				weights[hashfn.Pack32(tr.A, tr.B)] += tr.W
 			}
@@ -225,10 +224,16 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 		}
 		total, err := c.AllReduceUint64(moves, comm.OpSum)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		res.MovesPerSweep = append(res.MovesPerSweep, int(total))
-		res.Sweeps = sweep
+		movesPerSweep = append(movesPerSweep, int(total))
+		if opt.Recorder != nil {
+			opt.Recorder.Emit(obs.Event{
+				Name: "sweep", Rank: c.Rank(), Iter: sweep,
+				TS: tsSweep, Dur: opt.Recorder.Now() - tsSweep,
+				Fields: map[string]float64{"moved": float64(total)},
+			})
+		}
 		if float64(total) < opt.MinMoves*float64(n) {
 			break
 		}
@@ -241,7 +246,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 	}
 	all, err := c.AllGatherUint32(mine)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	full := make([]graph.V, n)
 	for r, xs := range all {
@@ -252,42 +257,7 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) (*Result, 
 			}
 		}
 	}
-	res.Labels = full
-	res.Duration = time.Since(start)
-	return res, nil
-}
-
-// RunInProcess mirrors core.RunInProcess for label propagation.
-func RunInProcess(el graph.EdgeList, n, ranks int, opt Options) (*Result, error) {
-	if ranks <= 0 {
-		ranks = 1
-	}
-	if n <= 0 {
-		n = el.NumVertices()
-	}
-	parts := graph.SplitEdges(el, ranks)
-	trs := comm.NewMemGroup(ranks)
-	results := make([]*Result, ranks)
-	var g par.Group
-	for r := 0; r < ranks; r++ {
-		r := r
-		g.Go(func() error {
-			res, err := Parallel(comm.New(trs[r]), parts[r], n, opt)
-			if err != nil {
-				return fmt.Errorf("rank %d: %w", r, err)
-			}
-			results[r] = res
-			return nil
-		})
-	}
-	err := g.Wait()
-	for _, tr := range trs {
-		tr.Close()
-	}
-	if err != nil {
-		return nil, err
-	}
-	return results[0], nil
+	return full, movesPerSweep, nil
 }
 
 func shuffle(xs []uint32, seed uint64) {

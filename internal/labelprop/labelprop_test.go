@@ -1,12 +1,49 @@
 package labelprop
 
 import (
+	"fmt"
 	"testing"
 
+	"parlouvain/internal/comm"
 	"parlouvain/internal/gen"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/metrics"
+	"parlouvain/internal/par"
 )
+
+// runParallel drives Parallel over an in-process mem group (the registry
+// driver in internal/algo is the production path; this keeps the package
+// self-contained).
+func runParallel(t *testing.T, el graph.EdgeList, n, ranks int, opt Options) ([]graph.V, []int) {
+	t.Helper()
+	if n <= 0 {
+		n = el.NumVertices()
+	}
+	parts := graph.SplitEdges(el, ranks)
+	trs := comm.NewMemGroup(ranks)
+	labels := make([][]graph.V, ranks)
+	moves := make([][]int, ranks)
+	var g par.Group
+	for r := 0; r < ranks; r++ {
+		r := r
+		g.Go(func() error {
+			l, m, err := Parallel(comm.New(trs[r]), parts[r], n, opt)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+			labels[r], moves[r] = l, m
+			return nil
+		})
+	}
+	err := g.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labels[0], moves[0]
+}
 
 func TestSequentialTwoCliques(t *testing.T) {
 	el, truth, err := gen.RingOfCliques(6, 5)
@@ -14,16 +51,16 @@ func TestSequentialTwoCliques(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.Build(el, 0)
-	res := Sequential(g, Options{})
-	sim, err := metrics.Compare(res.Labels, truth)
+	labels, movesPerSweep := Sequential(g, Options{})
+	sim, err := metrics.Compare(labels, truth)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sim.NMI < 0.8 {
 		t.Errorf("NMI = %v, want > 0.8", sim.NMI)
 	}
-	if res.Sweeps == 0 || len(res.MovesPerSweep) != res.Sweeps {
-		t.Errorf("trace inconsistent: %d sweeps, %v", res.Sweeps, res.MovesPerSweep)
+	if len(movesPerSweep) == 0 {
+		t.Errorf("no sweeps traced")
 	}
 }
 
@@ -33,8 +70,8 @@ func TestSequentialRecoversSBM(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.Build(el, 300)
-	res := Sequential(g, Options{})
-	sim, err := metrics.Compare(res.Labels, truth)
+	labels, _ := Sequential(g, Options{})
+	sim, err := metrics.Compare(labels, truth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,12 +82,12 @@ func TestSequentialRecoversSBM(t *testing.T) {
 
 func TestSequentialIsolatedVerticesKeepOwnLabel(t *testing.T) {
 	g := graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}}, 4)
-	res := Sequential(g, Options{})
-	if res.Labels[2] != 2 || res.Labels[3] != 3 {
-		t.Errorf("isolated labels changed: %v", res.Labels)
+	labels, _ := Sequential(g, Options{})
+	if labels[2] != 2 || labels[3] != 3 {
+		t.Errorf("isolated labels changed: %v", labels)
 	}
-	if res.Labels[0] != res.Labels[1] {
-		t.Errorf("edge endpoints should share a label: %v", res.Labels)
+	if labels[0] != labels[1] {
+		t.Errorf("edge endpoints should share a label: %v", labels)
 	}
 }
 
@@ -59,14 +96,14 @@ func TestParallelMatchesStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunInProcess(el, 2000, 4, Options{})
-	if err != nil {
-		t.Fatal(err)
+	labels, moves := runParallel(t, el, 2000, 4, Options{})
+	if len(labels) != 2000 {
+		t.Fatalf("labels len %d", len(labels))
 	}
-	if len(res.Labels) != 2000 {
-		t.Fatalf("labels len %d", len(res.Labels))
+	if len(moves) == 0 {
+		t.Fatalf("no sweeps traced")
 	}
-	sim, err := metrics.Compare(res.Labels, truth)
+	sim, err := metrics.Compare(labels, truth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,30 +119,21 @@ func TestParallelDeterministicAcrossRankCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := RunInProcess(el, 200, 1, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := RunInProcess(el, 200, 4, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	a, _ := runParallel(t, el, 200, 1, Options{})
+	b, _ := runParallel(t, el, 200, 4, Options{})
 	// Synchronous updates are independent of the partitioning: the
 	// label vectors must be identical, not merely similar.
-	for i := range a.Labels {
-		if a.Labels[i] != b.Labels[i] {
-			t.Fatalf("labels differ at %d: %d vs %d", i, a.Labels[i], b.Labels[i])
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("labels differ at %d: %d vs %d", i, a[i], b[i])
 		}
 	}
 }
 
-func TestParallelInvalidEdge(t *testing.T) {
-	trsErr := func() error {
-		_, err := RunInProcess(graph.EdgeList{{U: 0, V: 1, W: 1}}, 0, 1, Options{})
-		return err
-	}
-	if err := trsErr(); err != nil {
-		t.Fatalf("valid input rejected: %v", err)
+func TestParallelValidEdge(t *testing.T) {
+	labels, _ := runParallel(t, graph.EdgeList{{U: 0, V: 1, W: 1}}, 0, 1, Options{})
+	if len(labels) != 2 {
+		t.Fatalf("labels: %v", labels)
 	}
 }
 
@@ -122,10 +150,10 @@ func TestSequentialSeedShufflesOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.Build(el, 500)
-	a := Sequential(g, Options{Seed: 1})
-	b := Sequential(g, Options{Seed: 1})
-	for i := range a.Labels {
-		if a.Labels[i] != b.Labels[i] {
+	a, _ := Sequential(g, Options{Seed: 1})
+	b, _ := Sequential(g, Options{Seed: 1})
+	for i := range a {
+		if a[i] != b[i] {
 			t.Fatal("same seed not deterministic")
 		}
 	}

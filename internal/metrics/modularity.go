@@ -33,9 +33,17 @@ func Modularity(g *graph.Graph, assign []graph.V) float64 {
 			}
 		}
 	}
+	// Reduce in sorted community order: map iteration order is randomized,
+	// and a float sum must not change between runs of the same input.
+	comms := make([]graph.V, 0, len(tot))
+	for c := range tot {
+		comms = append(comms, c)
+	}
+	sort.Slice(comms, func(i, j int) bool { return comms[i] < comms[j] })
 	twoM := 2 * g.M
 	q := 0.0
-	for c, t := range tot {
+	for _, c := range comms {
+		t := tot[c]
 		q += in[c]/twoM - (t/twoM)*(t/twoM)
 	}
 	return q

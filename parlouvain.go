@@ -28,16 +28,16 @@
 package parlouvain
 
 import (
+	"context"
 	"io"
 	"os"
 
+	"parlouvain/internal/algo"
 	"parlouvain/internal/comm"
 	"parlouvain/internal/core"
 	"parlouvain/internal/dendro"
-	"parlouvain/internal/ensemble"
 	"parlouvain/internal/gen"
 	"parlouvain/internal/graph"
-	"parlouvain/internal/labelprop"
 	"parlouvain/internal/metrics"
 	"parlouvain/internal/obs"
 )
@@ -259,29 +259,45 @@ func SplitDisconnected(g *Graph, assign []V) ([]V, int) {
 	return core.SplitDisconnected(g, assign)
 }
 
-// EnsembleOptions configures DetectEnsemble.
-type EnsembleOptions = ensemble.Options
+// Algorithm registry, re-exported from internal/algo: every detection
+// algorithm in the library — parallel and sequential Louvain, the
+// Leiden-style variant, local neighbourhood search, label propagation and
+// core-groups ensemble — implements one Detector interface and runs on any
+// transport with the invariant checker and telemetry plane attached.
+type (
+	// AlgoOptions is the unified engine configuration (ranks, transport,
+	// seed, bounds, invariants, telemetry); see internal/algo.Options.
+	AlgoOptions = algo.Options
+	// AlgoResult is the unified engine outcome: assignment, modularity,
+	// per-level quality trajectory, timings and traffic totals.
+	AlgoResult = algo.Result
+	// AlgoInfo describes one registered engine (name, lineage, flags,
+	// guarantees).
+	AlgoInfo = algo.Info
+	// AlgoLevel is one entry of an engine's quality trajectory.
+	AlgoLevel = algo.LevelStat
+)
 
-// EnsembleResult is a core-groups ensemble outcome.
-type EnsembleResult = ensemble.Result
+// Algorithms lists every registered detection engine, sorted by name.
+func Algorithms() []AlgoInfo { return algo.Infos() }
 
-// DetectEnsemble runs core-groups ensemble detection (the scheme of the
-// paper's ref [12]): several independently-seeded weak detections vote,
-// agreeing vertex groups are contracted, and a full detection runs on the
-// contracted graph.
-func DetectEnsemble(el EdgeList, opt EnsembleOptions) (*EnsembleResult, error) {
-	return ensemble.Detect(graph.Build(el, 0), opt)
+// DetectAlgo runs the named engine (or alias, e.g. "louvain", "seq") across
+// opt.Ranks in-process ranks on the transport opt.Transport; an unknown name
+// returns an error enumerating the registry.
+func DetectAlgo(name string, el EdgeList, opt AlgoOptions) (*AlgoResult, error) {
+	return algo.Run(context.Background(), name, el, 0, opt)
 }
 
-// LabelPropagation runs the label propagation baseline (Raghavan et al.,
-// the approach behind several systems the paper compares against) across
-// `ranks` in-process compute ranks and returns the per-vertex labels.
-func LabelPropagation(el EdgeList, ranks int, maxSweeps int) ([]V, error) {
-	res, err := labelprop.RunInProcess(el, 0, ranks, labelprop.Options{MaxSweeps: maxSweeps})
+// DetectAlgoDistributed runs one rank of a multi-process detection with the
+// named engine over an established transport (see NewTCPTransport). local
+// must contain this rank's destination-owned edges and n the global vertex
+// count; every rank must use the same engine and options.
+func DetectAlgoDistributed(name string, t Transport, local EdgeList, n int, opt AlgoOptions) (*AlgoResult, error) {
+	d, err := algo.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return res.Labels, nil
+	return d.Detect(context.Background(), algo.Graph{Comm: comm.New(t), Local: local, N: n}, opt)
 }
 
 // LoadGraph reads a text or binary edge-list file (format sniffed).

@@ -160,19 +160,22 @@ func TestPublicAPIExtensions(t *testing.T) {
 		t.Error(err)
 	}
 
-	// Baselines.
-	labels, err := parlouvain.LabelPropagation(el, 2, 0)
+	// Baselines through the algorithm registry.
+	if names := parlouvain.Algorithms(); len(names) < 6 {
+		t.Errorf("registry lists %d engines, want >= 6", len(names))
+	}
+	lres, err := parlouvain.DetectAlgo("lpa", el, parlouvain.AlgoOptions{Ranks: 2, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(labels) != 30 {
-		t.Errorf("LPA labels %d", len(labels))
+	if len(lres.Assignment) != 30 {
+		t.Errorf("LPA labels %d", len(lres.Assignment))
 	}
-	eres, err := parlouvain.DetectEnsemble(el, parlouvain.EnsembleOptions{Runs: 2})
+	eres, err := parlouvain.DetectAlgo("ensemble", el, parlouvain.AlgoOptions{Runs: 2, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := parlouvain.CompareAssignments(eres.Membership, truth)
+	sim, err := parlouvain.CompareAssignments(eres.Assignment, truth)
 	if err != nil {
 		t.Fatal(err)
 	}
