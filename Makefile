@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos fuzz compare bench-json bench-compare clean
+.PHONY: all build test race vet fmt check chaos fuzz compare serve-e2e loadgen-smoke bench-json bench-compare clean
 
 all: check
 
@@ -41,6 +41,17 @@ fuzz:
 # partition (the CI smoke step). Full sweeps: `go run ./cmd/compare`.
 compare:
 	$(GO) run ./cmd/compare -smoke
+
+# Job-service e2e suite under the race detector: HTTP lifecycle, queue
+# overflow, cancellation reaching the engines, SSE backlog-then-live,
+# concurrent submitters, drain semantics (the CI serve step).
+serve-e2e:
+	$(GO) test -race -count=1 ./internal/serve/
+
+# Closed-loop load harness in CI mode: 2 clients x 2 jobs against a
+# self-hosted service; fails unless every job completes.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke -o /tmp/loadgen_smoke.json
 
 # Run the exchange and level-storage benchmarks and fixed-seed end-to-end
 # solves, writing machine-readable results (micro-bench ns/op and allocs,

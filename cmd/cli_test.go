@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -392,7 +393,7 @@ func TestCompareCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	var cells int
+	var cells, bterCells int
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		var rec struct {
@@ -414,10 +415,19 @@ func TestCompareCLI(t *testing.T) {
 		if rec.Graph == "lfr" && rec.NMI == nil {
 			t.Errorf("lfr cell missing NMI: %+v", rec)
 		}
+		if rec.Graph == "bter" && rec.NMI == nil {
+			t.Errorf("bter cell missing NMI: %+v", rec)
+		}
+		if rec.Graph == "bter" {
+			bterCells++
+		}
 		cells++
 	}
-	if cells != 12 {
-		t.Errorf("smoke sweep wrote %d cells, want 12 (6 engines x 2 graphs)", cells)
+	if bterCells != 6 {
+		t.Errorf("smoke sweep wrote %d bter cells, want 6 (one per engine)", bterCells)
+	}
+	if cells != 18 {
+		t.Errorf("smoke sweep wrote %d cells, want 18 (6 engines x 3 graphs)", cells)
 	}
 
 	out = run(t, "compare", "-engines-md")
@@ -425,4 +435,188 @@ func TestCompareCLI(t *testing.T) {
 		t.Errorf("compare -engines-md output: %s", out)
 	}
 	runExpectError(t, "compare", "-algos", "bogus")
+}
+
+// freeAddr reserves an ephemeral 127.0.0.1 port and returns it for reuse.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestLouvaindServeMode drives the real binary through the service
+// lifecycle: submit a job over HTTP, poll it to completion, fetch the
+// result, then SIGTERM the daemon and assert it drains and exits cleanly.
+func TestLouvaindServeMode(t *testing.T) {
+	addr := freeAddr(t)
+	cmd := exec.Command(filepath.Join(binDir, "louvaind"),
+		"-serve", "-debug-addr", addr, "-serve-workers", "1", "-serve-queue", "4", "-drain-timeout", "5s")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code, body := get("/healthz"); code == 200 && strings.Contains(body, `"serve"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Post("http://"+addr+"/jobs", "application/json",
+		strings.NewReader(`{"gen":"lfr:n=400,mu=0.3,seed=5","algo":"louvain","ranks":2,"check":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Q     float64
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	for {
+		_, body := get("/jobs/" + st.ID)
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("poll: %v (%s)", err, body)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job reached %s: %s", st.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := get("/jobs/" + st.ID + "/result?format=text"); code != 200 || strings.Count(body, "\n") != 400 {
+		t.Errorf("text result: code %d, %d lines", code, strings.Count(body, "\n"))
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "serve_jobs_done_total 1") {
+		t.Errorf("/metrics after job: code %d\n%s", code, body)
+	}
+	if code, body := get("/jobs/" + st.ID + "/metrics"); code != 200 || !strings.Contains(body, `job="`+st.ID+`"`) {
+		t.Errorf("per-job metrics: code %d\n%s", code, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "draining jobs") || !strings.Contains(out, "drained; exiting") {
+		t.Errorf("drain log missing:\n%s", out)
+	}
+}
+
+// TestLouvaindSignalDrain sends SIGTERM to a batch-mode rank mid-detection
+// and asserts it cancels the engine, drains, and exits 0 instead of dying
+// with the run half-done.
+func TestLouvaindSignalDrain(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.bin")
+	run(t, "gengraph", "-spec", "lfr:n=60000,mu=0.35,seed=3", "-o", graph)
+	addr := freeAddr(t)
+	debugAddr := freeAddr(t)
+
+	cmd := exec.Command(filepath.Join(binDir, "louvaind"),
+		"-rank", "0", "-addrs", addr, "-graph", graph, "-debug-addr", debugAddr, "-agg-interval", "0")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + debugAddr + "/healthz")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(b), `"running"`) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank never reached running:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("rank exit after SIGTERM: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "canceled by signal") {
+		t.Errorf("no graceful-cancel log:\n%s", buf.String())
+	}
+}
+
+// TestLoadgenSmoke runs the load harness in its CI mode against a
+// self-hosted service and checks the emitted report.
+func TestLoadgenSmoke(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "load.json")
+	out := run(t, "loadgen", "-smoke", "-o", report)
+	if !strings.Contains(out, "loadgen smoke OK") {
+		t.Fatalf("loadgen -smoke output: %s", out)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Jobs    int `json:"jobs"`
+		Failed  int `json:"failed"`
+		Overall struct {
+			Count int     `json:"count"`
+			P50MS float64 `json:"p50_ms"`
+			P99MS float64 `json:"p99_ms"`
+		} `json:"overall"`
+		Throughput float64 `json:"throughput_jobs_per_sec"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, raw)
+	}
+	if rep.Jobs != 4 || rep.Failed != 0 || rep.Overall.Count != 4 {
+		t.Errorf("smoke report counts: %+v", rep)
+	}
+	if rep.Overall.P50MS <= 0 || rep.Overall.P99MS < rep.Overall.P50MS || rep.Throughput <= 0 {
+		t.Errorf("smoke report stats: %+v", rep)
+	}
 }

@@ -5,7 +5,7 @@
 //
 // Typical runs:
 //
-//	compare                          # all engines × {lfr, rmat}, markdown to stdout
+//	compare                          # all engines × {lfr, rmat, bter}, markdown to stdout
 //	compare -algos par-louvain,lpa -graphs lfr -n 5000 -mu 0.4
 //	compare -jsonl results.jsonl -md table.md -repeat 3
 //	compare -smoke                   # tiny inputs, assert valid partitions (CI)
@@ -53,10 +53,11 @@ func main() {
 	log.SetPrefix("compare: ")
 	var (
 		algos     = flag.String("algos", "all", "comma-separated engine names, or \"all\" (see -engines-md)")
-		graphs    = flag.String("graphs", "lfr,rmat", "comma-separated graph families to sweep: lfr, rmat")
-		n         = flag.Int("n", 2000, "LFR vertex count")
+		graphs    = flag.String("graphs", "lfr,rmat,bter", "comma-separated graph families to sweep: lfr, rmat, bter")
+		n         = flag.Int("n", 2000, "LFR/BTER vertex count")
 		mu        = flag.Float64("mu", 0.3, "LFR mixing parameter")
 		scale     = flag.Int("scale", 11, "R-MAT scale (2^scale vertices)")
+		rho       = flag.Float64("rho", 0.4, "BTER target clustering coefficient")
 		ranks     = flag.Int("ranks", 4, "rank-group size per run")
 		seed      = flag.Uint64("seed", 1, "generator and engine seed")
 		repeat    = flag.Int("repeat", 1, "runs per cell; wall-clock reports the fastest")
@@ -84,7 +85,7 @@ func main() {
 	names := resolveAlgos(*algos)
 	var cells []cell
 	for _, fam := range splitList(*graphs) {
-		el, truth, gname, err := makeGraph(fam, *n, *mu, *scale, *seed)
+		el, truth, gname, err := makeGraph(fam, *n, *mu, *scale, *rho, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func splitList(s string) []string {
 
 // makeGraph generates one benchmark instance. truth is nil for families
 // without a planted partition (R-MAT).
-func makeGraph(fam string, n int, mu float64, scale int, seed uint64) (parlouvain.EdgeList, []parlouvain.V, string, error) {
+func makeGraph(fam string, n int, mu float64, scale int, rho float64, seed uint64) (parlouvain.EdgeList, []parlouvain.V, string, error) {
 	switch fam {
 	case "lfr":
 		el, truth, err := parlouvain.LFR(parlouvain.DefaultLFR(n, mu, seed))
@@ -179,8 +180,11 @@ func makeGraph(fam string, n int, mu float64, scale int, seed uint64) (parlouvai
 	case "rmat":
 		el, err := parlouvain.RMAT(parlouvain.DefaultRMAT(scale, seed))
 		return el, nil, "rmat", err
+	case "bter":
+		el, truth, err := parlouvain.BTER(parlouvain.DefaultBTER(n, rho, seed))
+		return el, truth, "bter", err
 	default:
-		return nil, nil, "", fmt.Errorf("unknown graph family %q (want lfr or rmat)", fam)
+		return nil, nil, "", fmt.Errorf("unknown graph family %q (want lfr, rmat or bter)", fam)
 	}
 }
 

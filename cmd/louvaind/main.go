@@ -33,12 +33,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"parlouvain"
@@ -77,12 +80,23 @@ func main() {
 		streamSz  = flag.Int("stream-chunk", 0, "streaming-exchange chunk size in bytes for the heavy phases; 0 picks per transport, negative disables streaming (bulk rounds); must match across ranks")
 		storage   = flag.String("storage", "auto", "per-level edge storage read by the refine loop: hash | csr (frozen adjacency array) | auto (size-based per level); rank-local, results are identical in every mode")
 		prune     = flag.Bool("prune", false, "skip refine-sweep vertices whose neighborhoods did not change community (exact pruning; results are identical)")
+		serveMode = flag.Bool("serve", false, "run as a job service on -debug-addr instead of one batch detection (POST /jobs, see README \"Service mode\")")
+		serveWk   = flag.Int("serve-workers", 2, "job-service worker pool size (with -serve)")
+		serveQD   = flag.Int("serve-queue", 16, "job-service queue depth; submissions beyond it get 429 (with -serve)")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "job-service drain grace after SIGINT/SIGTERM before running jobs' contexts are cancelled (with -serve)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Version("louvaind"))
 		return
+	}
+	if *serveMode {
+		if *debugAddr == "" {
+			fmt.Fprintln(os.Stderr, "usage: louvaind -serve -debug-addr ADDR [-serve-workers N] [-serve-queue D]")
+			os.Exit(2)
+		}
+		os.Exit(runServe(*debugAddr, *serveWk, *serveQD, *drainTO))
 	}
 	addrList := strings.Split(*addrs, ",")
 	if *rank < 0 || *addrs == "" || *rank >= len(addrList) {
@@ -199,7 +213,12 @@ func main() {
 		meshState.Store("failed")
 		log.Fatal(err)
 	}
-	res, err := parlouvain.DetectAlgoDistributed(*algoName, tr, local, n, parlouvain.AlgoOptions{
+	// Graceful drain: SIGINT/SIGTERM cancels the detection context — the
+	// engine stops at its next level/iteration check point — and the rank
+	// still flushes telemetry and writes its trace outputs before exiting.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	res, err := parlouvain.DetectAlgoDistributedContext(ctx, *algoName, tr, local, n, parlouvain.AlgoOptions{
 		Threads:         *threads,
 		Naive:           *naive,
 		Seed:            *seed,
@@ -210,23 +229,30 @@ func main() {
 		Recorder:        rec,
 		Metrics:         reg,
 	})
-	if err != nil {
+	canceled := err != nil && ctx.Err() != nil
+	if err != nil && !canceled {
 		meshState.Store("failed")
 		log.Fatal(err)
 	}
-	meshState.Store("done")
-	fmt.Printf("rank %d: %s Q=%.6f levels=%d time=%v (first level %v)\n",
-		*rank, res.Algo, res.Q, len(res.Levels), res.Duration.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := parlouvain.WritePartition(f, res.Assignment); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+	if canceled {
+		stopSignals() // a second signal now kills immediately
+		meshState.Store("canceled")
+		log.Printf("rank %d: detection canceled by signal; draining telemetry", *rank)
+	} else {
+		meshState.Store("done")
+		fmt.Printf("rank %d: %s Q=%.6f levels=%d time=%v (first level %v)\n",
+			*rank, res.Algo, res.Q, len(res.Levels), res.Duration.Round(time.Millisecond), res.FirstLevel.Round(time.Millisecond))
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := parlouvain.WritePartition(f, res.Assignment); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parlouvain/internal/buildinfo"
+	"parlouvain/internal/obs"
+	"parlouvain/internal/serve"
+)
+
+// runServe is louvaind's job-service mode: instead of executing one batch
+// detection as a rank of a fixed mesh, the process serves the job API — the
+// debug endpoint set plus POST/GET /jobs — and runs submitted jobs through
+// the in-process driver until a SIGINT/SIGTERM drains it.
+func runServe(addr string, workers, depth int, drain time.Duration) int {
+	reg := obs.NewRegistry()
+	store := serve.NewStore(serve.Config{Workers: workers, QueueDepth: depth, Metrics: reg})
+	mux := obs.NewDebugMux(reg, func() any {
+		return map[string]any{
+			"mode":     "serve",
+			"revision": buildinfo.Revision(),
+			"jobs":     len(store.Jobs()),
+		}
+	})
+	store.Attach(mux)
+	srv, err := obs.Serve(addr, mux)
+	if err != nil {
+		log.Printf("serve: %v", err)
+		return 1
+	}
+	log.Printf("serving job API on http://%s/jobs (workers %d, queue depth %d)", srv.Addr, workers, depth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default handling: a second signal kills immediately
+
+	log.Printf("signal received; draining jobs (grace %v)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Drain the store first — submissions arriving during the drain get a
+	// clean 503, queued jobs are cancelled, running jobs get the grace
+	// period before their contexts fire and their SSE streams end with the
+	// terminal frame — then tear the HTTP listener down.
+	if err := store.Shutdown(dctx); err != nil {
+		log.Printf("drain failed: %v", err)
+		srv.Close()
+		return 1
+	}
+	srv.Close()
+	log.Printf("drained; exiting")
+	return 0
+}

@@ -104,10 +104,13 @@ type Options struct {
 }
 
 // coreOptions converts the unified options to the parallel/sequential
-// Louvain engine's native form. collect forces per-level membership
-// collection (needed whenever the caller wants Result.Assignment).
-func (o Options) coreOptions(collect bool) core.Options {
+// Louvain engine's native form. ctx propagates cancellation into the
+// engine's level/iteration check points; collect forces per-level
+// membership collection (needed whenever the caller wants
+// Result.Assignment).
+func (o Options) coreOptions(ctx context.Context, collect bool) core.Options {
 	return core.Options{
+		Ctx:             ctx,
 		MaxLevels:       o.MaxLevels,
 		MaxInner:        o.MaxIter,
 		MinGain:         o.MinGain,

@@ -1,0 +1,81 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/obs"
+)
+
+// TestRunCancelMultiRank cancels a 2-rank in-process run as soon as the
+// first telemetry event proves the engine is mid-level. The driver's
+// watchdog must unblock any rank parked in a collective, Run must return
+// promptly, and the error must classify as context.Canceled.
+func TestRunCancelMultiRank(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(8000, 0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := obs.NewRecorder()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			if rec.Len() > 0 {
+				cancel()
+				return
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Run(ctx, "par-louvain", el, 0, Options{Ranks: 2, Recorder: rec})
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			// The run may legitimately win the race on a fast machine only
+			// if it finished before the first event was recorded — but the
+			// canceler fires on the very first event, so a nil error means
+			// cancellation was lost.
+			t.Fatal("canceled run returned no error")
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Errorf("error does not classify as context.Canceled: %v", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled run did not return within 30s (rank parked in a collective?)")
+	}
+}
+
+// TestRunPreCanceledEveryEngine asserts a context canceled before Run is
+// called fails fast for every registered engine on a 2-rank group.
+func TestRunPreCanceledEveryEngine(t *testing.T) {
+	el, _, err := gen.LFR(gen.DefaultLFR(300, 0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Names() {
+		if _, err := Run(ctx, name, el, 0, Options{Ranks: 2}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: pre-canceled run: %v, want context.Canceled", name, err)
+		}
+	}
+}

@@ -30,6 +30,23 @@ func Run(ctx context.Context, name string, el graph.EdgeList, n int, opt Options
 	}
 	parts := graph.SplitEdges(el, opt.Ranks)
 	results := make([]*Result, opt.Ranks)
+	// Cancellation watchdog: the engines poll ctx at their deterministic
+	// check points, but a rank that raced past its check parks in a
+	// collective waiting for peers that already returned. Closing the
+	// transports unblocks every parked exchange with ErrClosed, so
+	// cancellation can never deadlock the group.
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				for _, tr := range trs {
+					tr.Close()
+				}
+			case <-watchDone:
+			}
+		}()
+	}
 	var g par.Group
 	for r := 0; r < opt.Ranks; r++ {
 		r := r
@@ -53,10 +70,18 @@ func Run(ctx context.Context, name string, el graph.EdgeList, n int, opt Options
 		})
 	}
 	err = g.Wait()
+	close(watchDone)
 	for _, tr := range trs {
 		tr.Close()
 	}
 	if err != nil {
+		// A canceled run surfaces as whatever error the first rank hit
+		// (a core cancellation error, or ErrClosed from the watchdog's
+		// teardown); report it under the context's error so callers can
+		// classify with errors.Is(err, context.Canceled).
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("algo: %s canceled: %w (%v)", name, cerr, err)
+		}
 		return nil, err
 	}
 	return results[0], nil

@@ -2,6 +2,7 @@ package algo
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"parlouvain/internal/comm"
@@ -65,7 +66,7 @@ func (e parLouvain) Detect(ctx context.Context, g Graph, opt Options) (*Result, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cres, err := core.Parallel(g.Comm, g.Local, g.N, opt.coreOptions(true))
+	cres, err := core.Parallel(g.Comm, g.Local, g.N, opt.coreOptions(ctx, true))
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +92,11 @@ func (seqLouvain) Info() Info {
 
 func (e seqLouvain) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
 	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
-		return core.Sequential(full, opt.coreOptions(true)), nil, nil
+		cres := core.Sequential(full, opt.coreOptions(ctx, true))
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", core.ErrCanceled, err)
+		}
+		return cres, nil, nil
 	})
 	if err != nil {
 		return nil, err
@@ -118,7 +123,10 @@ func (leidenEngine) Info() Info {
 
 func (e leidenEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
 	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
-		cres := core.Leiden(full, opt.coreOptions(true))
+		cres := core.Leiden(full, opt.coreOptions(ctx, true))
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", core.ErrCanceled, err)
+		}
 		return cres, map[string]float64{"splits": float64(cres.LeidenSplits)}, nil
 	})
 	if err != nil {
@@ -146,7 +154,11 @@ func (lnsEngine) Info() Info {
 
 func (e lnsEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
 	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
-		return core.LNS(full, opt.coreOptions(true)), nil, nil
+		cres := core.LNS(full, opt.coreOptions(ctx, true))
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", core.ErrCanceled, err)
+		}
+		return cres, nil, nil
 	})
 	if err != nil {
 		return nil, err
@@ -235,6 +247,7 @@ func (e ensembleEngine) Detect(ctx context.Context, g Graph, opt Options) (*Resu
 			Runs: opt.Runs,
 			Seed: opt.Seed,
 			Final: core.Options{
+				Ctx:       ctx,
 				MaxLevels: opt.MaxLevels,
 				MaxInner:  opt.MaxIter,
 				MinGain:   opt.MinGain,

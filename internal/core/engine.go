@@ -359,6 +359,9 @@ func (s *engine) run() (*Result, error) {
 	qLevelPrev := math.Inf(-1)
 	prevBytes, prevRounds := s.c.BytesSent(), s.c.Rounds()
 	for level := 0; level < s.opt.MaxLevels; level++ {
+		if err := s.opt.canceled(); err != nil {
+			return nil, fmt.Errorf("core: %w at level %d: %w", ErrCanceled, level, err)
+		}
 		refineStart := time.Now()
 		tsLevel := s.now()
 		var inStats edgetable.Stats

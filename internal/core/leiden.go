@@ -47,6 +47,9 @@ func Leiden(g *graph.Graph, opt Options) *Result {
 	warm := opt.Warm
 	qPrev := -1.0
 	for level := 0; level < opt.MaxLevels; level++ {
+		if opt.canceled() != nil {
+			break // keep the best hierarchy reached so far
+		}
 		lvOpt := opt
 		lvOpt.Warm = warm
 		if opt.Seed != 0 {

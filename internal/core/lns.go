@@ -41,6 +41,9 @@ func LNS(g *graph.Graph, opt Options) *Result {
 	wg := g
 	qPrev := -1.0
 	for level := 0; level < opt.MaxLevels; level++ {
+		if opt.canceled() != nil {
+			break // keep the best hierarchy reached so far
+		}
 		comm, pops, moved := lnsLevel(wg, opt, level)
 		q := metrics.Modularity(wg, comm)
 

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -125,6 +127,14 @@ func resolveStorage(k StorageKind, localEntries int) StorageKind {
 
 // Options configures either engine. The zero value is usable.
 type Options struct {
+	// Ctx, when non-nil, cancels the run: the parallel engine checks it at
+	// every level start and every inner iteration and returns an error
+	// wrapping the context's error; the whole-graph engines (Sequential,
+	// Leiden, LNS) check it per level/pass and stop early with the best
+	// state reached so far. nil means never canceled. The check points are
+	// deterministic, so an uncanceled context leaves runs bit-identical.
+	Ctx context.Context
+
 	// MaxLevels bounds outer iterations; 0 means 32.
 	MaxLevels int
 	// MaxInner bounds inner iterations per level; 0 means 64.
@@ -261,6 +271,21 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// canceled reports the run's cancellation state: Options.Ctx's error when a
+// context is attached and done, nil otherwise. Engines poll it at their
+// deterministic check points (level starts, inner iterations).
+func (o *Options) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// ErrCanceled tags engine errors caused by Options.Ctx cancellation; the
+// chain also wraps the context's own error, so callers may match either
+// errors.Is(err, core.ErrCanceled) or errors.Is(err, context.Canceled).
+var ErrCanceled = errors.New("detection canceled")
 
 // autoBulkMaxRanks bounds the group sizes for which the automatic exchange
 // mode prefers bulk rounds on the in-process transport: the PR5 benchmark

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,9 @@ func (s *engine) refineLevel(level int, vertices uint64, sw *perf.Stopwatch, q0 
 	qMilestone := q
 	qBestLevel := q
 	for iter := 1; iter <= s.opt.MaxInner; iter++ {
+		if err := s.opt.canceled(); err != nil {
+			return 0, nil, fmt.Errorf("core: %w at level %d iteration %d: %w", ErrCanceled, level, iter, err)
+		}
 		iterStart := time.Now()
 		tsIter := s.now()
 		sw.Start(s.bd, perf.PhaseFindBest)

@@ -35,6 +35,9 @@ func Sequential(g *graph.Graph, opt Options) *Result {
 	wg := g
 	qPrev := -1.0
 	for level := 0; level < opt.MaxLevels; level++ {
+		if opt.canceled() != nil {
+			break // keep the best hierarchy reached so far
+		}
 		comm, movesPerIter := sweepLevel(wg, opt, level)
 		q := metrics.Modularity(wg, comm)
 

@@ -247,6 +247,22 @@ func (r *Registry) Each(fn func(name string, kind string, value float64, hist *H
 // registry fed from untrusted or generated names still produces a parseable
 // exposition. Only the standard library is used.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusLabeled(w, nil)
+}
+
+// WritePrometheusLabeled renders the registry like WritePrometheus with the
+// given label set attached to every series. The serve API uses it to expose
+// per-job registries on one endpoint without name collisions: each job's
+// instruments are written with a job="<id>" label. Label names are
+// sanitized to the metric-name grammar and values escaped; a nil or empty
+// map degenerates to the unlabeled exposition.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, labels map[string]string) error {
+	base := formatLabels(labels) // "k=\"v\",..." or ""
+	scalar := wrapLabels(base)   // "{k=\"v\"}" or ""
+	bucketPrefix := base         // joined after le="..."
+	if bucketPrefix != "" {
+		bucketPrefix = "," + bucketPrefix
+	}
 	var sb strings.Builder
 	r.Each(func(name, kind string, value float64, hist *HistogramSnapshot) {
 		n := SanitizeMetricName(name)
@@ -255,9 +271,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch kind {
 		case "counter":
-			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %s\n", n, n, formatFloat(value))
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s%s %s\n", n, n, scalar, formatFloat(value))
 		case "gauge":
-			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(value))
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s%s %s\n", n, n, scalar, formatFloat(value))
 		case "histogram":
 			fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
 			var cum uint64
@@ -267,14 +283,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i < len(hist.Bounds) {
 					le = formatFloat(hist.Bounds[i])
 				}
-				fmt.Fprintf(&sb, "%s_bucket{le=\"%s\"} %d\n", n, EscapeLabelValue(le), cum)
+				fmt.Fprintf(&sb, "%s_bucket{le=\"%s\"%s} %d\n", n, EscapeLabelValue(le), bucketPrefix, cum)
 			}
-			fmt.Fprintf(&sb, "%s_sum %s\n", n, formatFloat(hist.Sum))
-			fmt.Fprintf(&sb, "%s_count %d\n", n, hist.Count)
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", n, scalar, formatFloat(hist.Sum))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", n, scalar, hist.Count)
 		}
 	})
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// formatLabels renders a label set as `k="v",...` in sorted key order.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", SanitizeMetricName(k), EscapeLabelValue(labels[k]))
+	}
+	return sb.String()
+}
+
+// wrapLabels brackets a non-empty rendered label set.
+func wrapLabels(base string) string {
+	if base == "" {
+		return ""
+	}
+	return "{" + base + "}"
 }
 
 // SanitizeMetricName maps an arbitrary string onto the Prometheus metric

@@ -39,6 +39,7 @@ type Recorder struct {
 	mu     sync.Mutex
 	epoch  time.Time
 	events []Event
+	watch  chan struct{} // closed by the next Emit/Merge; see Watch
 }
 
 // NewRecorder returns an empty recorder whose epoch is now.
@@ -56,7 +57,30 @@ func (r *Recorder) Now() int64 {
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
 	r.events = append(r.events, e)
+	r.notifyLocked()
 	r.mu.Unlock()
+}
+
+// notifyLocked wakes every Watch channel handed out since the last append.
+func (r *Recorder) notifyLocked() {
+	if r.watch != nil {
+		close(r.watch)
+		r.watch = nil
+	}
+}
+
+// Watch returns a channel that is closed when the next event is appended.
+// Live tails (the per-job SSE stream of the serve API) combine it with
+// EventsSince: take the channel, drain the cursor, and block on the channel
+// only when the drain came back empty — events recorded between the two
+// calls are picked up by the next drain, so none are missed.
+func (r *Recorder) Watch() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.watch == nil {
+		r.watch = make(chan struct{})
+	}
+	return r.watch
 }
 
 // Len returns the number of recorded events.
@@ -110,5 +134,8 @@ func (r *Recorder) Merge(o *Recorder) {
 	o.mu.Unlock()
 	r.mu.Lock()
 	r.events = append(r.events, evs...)
+	if len(evs) > 0 {
+		r.notifyLocked()
+	}
 	r.mu.Unlock()
 }

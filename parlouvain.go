@@ -29,6 +29,7 @@ package parlouvain
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
 
@@ -288,16 +289,51 @@ func DetectAlgo(name string, el EdgeList, opt AlgoOptions) (*AlgoResult, error) 
 	return algo.Run(context.Background(), name, el, 0, opt)
 }
 
+// DetectAlgoContext is DetectAlgo with cancellation: the engines observe ctx
+// at their level/iteration check points, and the driver unblocks any rank
+// parked in a collective, so a fired context always returns promptly with an
+// error classifying as ctx's error.
+func DetectAlgoContext(ctx context.Context, name string, el EdgeList, opt AlgoOptions) (*AlgoResult, error) {
+	return algo.Run(ctx, name, el, 0, opt)
+}
+
 // DetectAlgoDistributed runs one rank of a multi-process detection with the
 // named engine over an established transport (see NewTCPTransport). local
 // must contain this rank's destination-owned edges and n the global vertex
 // count; every rank must use the same engine and options.
 func DetectAlgoDistributed(name string, t Transport, local EdgeList, n int, opt AlgoOptions) (*AlgoResult, error) {
+	return DetectAlgoDistributedContext(context.Background(), name, t, local, n, opt)
+}
+
+// DetectAlgoDistributedContext is DetectAlgoDistributed with cancellation:
+// when ctx fires (a drain signal, a deadline) the engine stops at its next
+// level/iteration check point, and a watchdog closes the transport so an
+// exchange parked on remote peers cannot hang the shutdown. The returned
+// error classifies as ctx's error (errors.Is) when the run was cancelled.
+func DetectAlgoDistributedContext(ctx context.Context, name string, t Transport, local EdgeList, n int, opt AlgoOptions) (*AlgoResult, error) {
 	d, err := algo.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return d.Detect(context.Background(), algo.Graph{Comm: comm.New(t), Local: local, N: n}, opt)
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				t.Close()
+			case <-watchDone:
+			}
+		}()
+	}
+	res, err := d.Detect(ctx, algo.Graph{Comm: comm.New(t), Local: local, N: n}, opt)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("parlouvain: %s canceled: %w (%v)", name, cerr, err)
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // LoadGraph reads a text or binary edge-list file (format sniffed).
