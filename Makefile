@@ -29,7 +29,7 @@ chaos:
 # target per run, so iterate; FUZZTIME scales the per-target budget.
 FUZZTIME ?= 10s
 fuzz:
-	@for pkg in ./internal/wire ./internal/graph ./internal/gencli ./internal/edgetable ./internal/metrics; do \
+	@for pkg in ./internal/wire ./internal/graph ./internal/gencli ./internal/edgetable ./internal/metrics ./internal/movesched; do \
 		for target in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
 			echo "fuzz $$pkg $$target"; \
 			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
@@ -55,15 +55,15 @@ loadgen-smoke:
 
 # Run the exchange and level-storage benchmarks and fixed-seed end-to-end
 # solves, writing machine-readable results (micro-bench ns/op and allocs,
-# bulk-vs-stream wall clock, overlap fraction, storage-vs-hash ratios) to
-# BENCH_PR8.json.
+# bulk-vs-stream wall clock, overlap fraction, storage-vs-hash ratios, the
+# plm/plp thread sweep and a host fingerprint) to BENCH_PR10.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # Perf regression gate: re-run the suite and diff it against the checked-in
 # baseline (override with BENCH_BASE=...). Exits non-zero when any metric
 # regressed beyond tolerance; see cmd/benchjson for the tolerance flags.
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR10.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -out /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) /tmp/bench_head.json

@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // tolerances are the fractional slowdowns -compare accepts before flagging
 // a regression. They are deliberately loose: the absolute numbers in a
-// checked-in baseline come from a different machine, so only large moves
-// are signal. Within-machine comparisons can tighten them via flags.
+// checked-in baseline come from a different machine, and even same-host
+// runs ride CPU-steal phases on shared single-core CI runners — the
+// defaults are sized to the worst noise observed there with the suite's
+// min-of-N repetition already applied, so only large moves are signal.
+// Within-machine comparisons on quiet hardware can tighten them via flags.
 type tolerances struct {
 	NsPerOp float64 // micro-bench ns/op increase
 	Bytes   float64 // micro-bench B/op and allocs/op increase
@@ -19,7 +23,7 @@ type tolerances struct {
 }
 
 func defaultTolerances() tolerances {
-	return tolerances{NsPerOp: 0.25, Bytes: 0.10, E2E: 0.30, Overlap: 0.20}
+	return tolerances{NsPerOp: 0.75, Bytes: 0.10, E2E: 0.50, Overlap: 0.50}
 }
 
 // delta is one compared metric; Ratio is new/old (or old/new for
@@ -48,6 +52,10 @@ func compareMetric(name string, oldV, newV, tol float64) delta {
 // empty Storage/Prune fields and keep their original transport/mode keys.
 func e2eKey(r e2eRun) string {
 	key := r.Transport + "/" + r.Mode
+	if r.Algo != "" {
+		// Thread-sweep series rows differ only by engine and thread count.
+		return fmt.Sprintf("%s/%s/t%d", key, r.Algo, r.Threads)
+	}
 	if r.Storage != "" {
 		key += "/" + r.Storage
 	}
@@ -73,6 +81,12 @@ func compareReports(oldR, newR *report, tol tolerances) []delta {
 			continue
 		}
 		out = append(out, compareMetric(nb.Name+" ns/op", ob.NsPerOp, nb.NsPerOp, tol.NsPerOp))
+		if strings.Contains(nb.Name, "net=tcp") {
+			// TCP benchmark allocations depend on kernel buffer timing
+			// (read coalescing), not on the code under test — gating them
+			// flags scheduler luck, not regressions.
+			continue
+		}
 		for _, m := range []string{"B/op", "allocs/op"} {
 			ov, okO := ob.Metrics[m]
 			nv, okN := nb.Metrics[m]
@@ -138,6 +152,22 @@ func writeCompare(w io.Writer, deltas []delta) int {
 	return regressed
 }
 
+// warnHostMismatch prints a loud warning when the two reports were produced
+// on different machines (or the baseline predates host fingerprints):
+// absolute times across hosts are noise, so any gate verdict is suspect.
+func warnHostMismatch(w io.Writer, oldR, newR *report) {
+	switch {
+	case oldR.Host.Cores == 0 && oldR.Host.GoRuntime == "":
+		fmt.Fprintln(w, "WARNING: baseline report has no host fingerprint (written by an older benchjson);")
+		fmt.Fprintln(w, "WARNING: cross-host timing comparisons are unreliable — treat verdicts as advisory.")
+	case oldR.Host != newR.Host:
+		fmt.Fprintln(w, "WARNING: reports come from different hosts — absolute times are not comparable:")
+		fmt.Fprintf(w, "WARNING:   old: %s\n", oldR.Host)
+		fmt.Fprintf(w, "WARNING:   new: %s\n", newR.Host)
+		fmt.Fprintln(w, "WARNING: treat verdicts as advisory; regenerate the baseline on this machine to gate strictly.")
+	}
+}
+
 // runCompare is the -compare entry point: diff two report files and exit
 // non-zero when any metric regressed beyond tolerance.
 func runCompare(oldPath, newPath string, tol tolerances) error {
@@ -149,6 +179,7 @@ func runCompare(oldPath, newPath string, tol tolerances) error {
 	if err != nil {
 		return err
 	}
+	warnHostMismatch(os.Stderr, oldR, newR)
 	deltas := compareReports(oldR, newR, tol)
 	if len(deltas) == 0 {
 		return fmt.Errorf("no comparable metrics between %s and %s", oldPath, newPath)

@@ -1,14 +1,14 @@
 // Command benchjson runs the streaming-exchange and level-storage benchmark
 // suites and writes the results as one machine-readable JSON file (see
-// `make bench-json`, which produces BENCH_PR8.json at the repo root). With
+// `make bench-json`, which produces BENCH_PR10.json at the repo root). With
 // -compare it instead diffs two such files and exits non-zero when any
 // metric regressed beyond tolerance — the perf gate behind
 // `make bench-compare` and the CI warning step:
 //
-//	benchjson -out BENCH_PR8.json          # run the suite
+//	benchjson -out BENCH_PR10.json         # run the suite
 //	benchjson -compare old.json new.json   # gate new against old
 //
-// Three measurement families go into the file:
+// Four measurement families go into the file:
 //
 //   - the micro-benchmarks BenchmarkExchangeAllocs and BenchmarkStreamOverlap
 //     from internal/core plus the BenchmarkStore* / BenchmarkFreezeCSR
@@ -23,12 +23,18 @@
 //     each level-storage backend (hash, frozen CSR, auto) and with pruned
 //     refine sweeps. Every variant must land on the identical Q — only the
 //     wall clock may differ — and the hash-relative time ratios are
-//     summarized in storage_vs_hash_time_ratio.
+//     summarized in storage_vs_hash_time_ratio;
+//   - a shared-memory thread sweep: the same R-MAT graph solved by the plm
+//     and plp engines at thread counts 1, 2 and 4 plus the seq-louvain
+//     baseline, with plm-vs-sequential wall-clock ratios summarized in
+//     thread_sweep_time_ratio (< 1 means plm wins).
 //
 // The graph seeds and every parameter are pinned, so runs on the same host
 // are comparable; absolute times move with hardware, the bulk-vs-stream
 // and storage-vs-hash ratios and the overlap fraction are the stable
-// signal.
+// signal. Each report carries a host fingerprint (CPU model, core count,
+// GOMAXPROCS, Go runtime); -compare warns loudly when the two files come
+// from different hosts, since cross-host absolute times are noise.
 package main
 
 import (
@@ -36,8 +42,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -55,11 +63,52 @@ type benchLine struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// hostInfo fingerprints the machine a report was produced on. Absolute
+// times from different hosts are not comparable; -compare uses this to warn
+// before gating across hardware.
+type hostInfo struct {
+	CPU        string `json:"cpu,omitempty"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoRuntime  string `json:"go_runtime"`
+}
+
+func (h hostInfo) String() string {
+	cpu := h.CPU
+	if cpu == "" {
+		cpu = "unknown CPU"
+	}
+	return fmt.Sprintf("%s, %d cores, GOMAXPROCS=%d, %s", cpu, h.Cores, h.GOMAXPROCS, h.GoRuntime)
+}
+
+// collectHost reads the CPU model from /proc/cpuinfo (best effort; absent on
+// non-Linux hosts) and the runtime's view of the core count.
+func collectHost() hostInfo {
+	h := hostInfo{
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoRuntime:  runtime.Version(),
+	}
+	if buf, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, ln := range strings.Split(string(buf), "\n") {
+			if name, ok := strings.CutPrefix(ln, "model name"); ok {
+				h.CPU = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	return h
+}
+
 type e2eRun struct {
 	Transport string `json:"transport"`
 	Mode      string `json:"mode"`
-	Ranks     int    `json:"ranks"`
-	Threads   int    `json:"threads"`
+	// Algo marks the shared-memory thread-sweep series (plm, plp,
+	// seq-louvain through the algo registry); empty on the distributed runs
+	// so older reports keep their compare keys.
+	Algo    string `json:"algo,omitempty"`
+	Ranks   int    `json:"ranks"`
+	Threads int    `json:"threads"`
 	// Storage/Prune identify the storage-variant series; both are empty on
 	// the LFR transport runs so older reports keep their compare keys.
 	Storage     string  `json:"storage,omitempty"`
@@ -75,6 +124,7 @@ type e2eRun struct {
 type report struct {
 	GoVersion  string      `json:"go_version"`
 	Revision   string      `json:"revision,omitempty"`
+	Host       hostInfo    `json:"host"`
 	Graph      string      `json:"graph"`
 	Benchmarks []benchLine `json:"benchmarks"`
 	E2E        []e2eRun    `json:"e2e"`
@@ -84,6 +134,9 @@ type report struct {
 	// Storage-variant seconds / hash-baseline seconds on the R-MAT solve
 	// (lower is better), keyed by "csr", "auto", "csr+prune", ...
 	StorageSpeedup map[string]float64 `json:"storage_vs_hash_time_ratio,omitempty"`
+	// Thread-sweep seconds / seq-louvain seconds on the same R-MAT solve
+	// (lower is better), keyed by "plm/t1", "plp/t4", ...
+	ThreadSpeedup map[string]float64 `json:"thread_sweep_time_ratio,omitempty"`
 }
 
 func main() {
@@ -91,7 +144,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	tol := defaultTolerances()
 	var (
-		out        = flag.String("out", "BENCH_PR8.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR10.json", "output JSON path")
 		benchTime  = flag.String("benchtime", "200x", "-benchtime passed to go test")
 		n          = flag.Int("n", 20000, "e2e LFR graph size")
 		mu         = flag.Float64("mu", 0.3, "e2e LFR mixing parameter")
@@ -128,11 +181,14 @@ func main() {
 	rep := report{
 		GoVersion: strings.TrimSpace(goVersion()),
 		Revision:  buildinfo.Revision(),
+		Host:      collectHost(),
 		Graph: fmt.Sprintf("LFR n=%d mu=%.2f seed=%d; RMAT scale=%d seed=%d",
 			*n, *mu, *seed, *rmatScale, *rmatSeed),
 		StreamSpeedup:  map[string]float64{},
 		StorageSpeedup: map[string]float64{},
+		ThreadSpeedup:  map[string]float64{},
 	}
+	log.Printf("host: %s", rep.Host)
 
 	if !*skipBench {
 		lines, err := runGoBench(*benchTime)
@@ -149,7 +205,7 @@ func main() {
 	for _, transport := range []string{"mem", "tcp"} {
 		var bulk, stream e2eRun
 		for _, mode := range []string{"bulk", "stream"} {
-			run, err := runE2E(el, *n, *ranks, *threads, transport, mode, "", false)
+			run, err := runE2EBest(el, *n, *ranks, *threads, transport, mode, "", false)
 			if err != nil {
 				log.Fatalf("e2e %s/%s: %v", transport, mode, err)
 			}
@@ -183,7 +239,7 @@ func main() {
 		storage string
 		prune   bool
 	}{{"hash", false}, {"csr", false}, {"auto", false}, {"csr", true}} {
-		run, err := runE2E(rel, rn, *ranks, *threads, "mem", "bulk", v.storage, v.prune)
+		run, err := runE2EBest(rel, rn, *ranks, *threads, "mem", "bulk", v.storage, v.prune)
 		if err != nil {
 			log.Fatalf("e2e rmat storage=%s prune=%v: %v", v.storage, v.prune, err)
 		}
@@ -206,6 +262,30 @@ func main() {
 		}
 	}
 
+	// Shared-memory thread sweep: plm and plp on the same R-MAT graph at
+	// 1, 2 and 4 worker threads, gated against the seq-louvain baseline.
+	// Ratios < 1 mean the shared-memory engine beats the sequential solve.
+	seqRun, err := runAlgo(rel, "seq-louvain", 1)
+	if err != nil {
+		log.Fatalf("e2e rmat seq-louvain: %v", err)
+	}
+	log.Printf("e2e rmat %-14s  %.3fs  Q=%.6f", "seq-louvain", seqRun.Seconds, seqRun.Q)
+	rep.E2E = append(rep.E2E, seqRun)
+	for _, algo := range []string{"plm", "plp"} {
+		for _, th := range []int{1, 2, 4} {
+			run, err := runAlgo(rel, algo, th)
+			if err != nil {
+				log.Fatalf("e2e rmat %s t=%d: %v", algo, th, err)
+			}
+			label := fmt.Sprintf("%s/t%d", algo, th)
+			log.Printf("e2e rmat %-14s  %.3fs  Q=%.6f", label, run.Seconds, run.Q)
+			rep.E2E = append(rep.E2E, run)
+			if seqRun.Seconds > 0 {
+				rep.ThreadSpeedup[label] = run.Seconds / seqRun.Seconds
+			}
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -215,6 +295,40 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+}
+
+// runAlgo solves the graph through the algorithm registry — the
+// shared-memory thread-sweep series. One in-process rank; the engines under
+// test parallelize inside the rank via Threads. These solves are short
+// (~0.1s), so a single shot is noise-dominated on a busy host: report the
+// fastest of three runs (the results are deterministic, only time varies).
+func runAlgo(el parlouvain.EdgeList, algo string, threads int) (e2eRun, error) {
+	const attempts = 3
+	best := e2eRun{Seconds: math.Inf(1)}
+	for i := 0; i < attempts; i++ {
+		start := time.Now()
+		res, err := parlouvain.DetectAlgo(algo, el, parlouvain.AlgoOptions{
+			Ranks:   1,
+			Threads: threads,
+			Seed:    7,
+		})
+		if err != nil {
+			return e2eRun{}, err
+		}
+		if sec := time.Since(start).Seconds(); sec < best.Seconds {
+			best = e2eRun{
+				Transport: "mem",
+				Mode:      "bulk",
+				Algo:      algo,
+				Ranks:     1,
+				Threads:   threads,
+				Seconds:   sec,
+				Q:         res.Q,
+				Levels:    len(res.Levels),
+			}
+		}
+	}
+	return best, nil
 }
 
 func goVersion() string {
@@ -227,17 +341,21 @@ func goVersion() string {
 
 // runGoBench executes the exchange and level-storage benchmarks and parses
 // the standard benchmark output format: name, iteration count, then
-// (value, unit) pairs.
+// (value, unit) pairs. Each suite runs with -count=5 and the per-benchmark
+// minimum of every metric is kept — short -benchtime runs are single-shot
+// measurements, so the min-of-5 is what filters scheduler noise out of the
+// perf gate.
 func runGoBench(benchTime string) ([]benchLine, error) {
 	suites := []struct{ pattern, pkg string }{
 		{"BenchmarkExchangeAllocs|BenchmarkStreamOverlap", "./internal/core"},
 		{"BenchmarkStoreSweep|BenchmarkStoreRow|BenchmarkStoreLookup|BenchmarkStoreStats|BenchmarkFreezeCSR",
 			"./internal/edgetable"},
 	}
-	var lines []benchLine
+	byName := map[string]*benchLine{}
+	var lines []*benchLine
 	for _, s := range suites {
 		cmd := exec.Command("go", "test", "-run", "^$",
-			"-bench", s.pattern, "-benchmem", "-benchtime", benchTime, s.pkg)
+			"-bench", s.pattern, "-benchmem", "-benchtime", benchTime, "-count", "5", s.pkg)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()
 		if err != nil {
@@ -267,13 +385,53 @@ func runGoBench(benchTime string) ([]benchLine, error) {
 					bl.Metrics[fields[i+1]] = v
 				}
 			}
-			lines = append(lines, bl)
+			prev, ok := byName[bl.Name]
+			if !ok {
+				byName[bl.Name] = &bl
+				lines = append(lines, &bl)
+				continue
+			}
+			if bl.NsPerOp < prev.NsPerOp {
+				prev.NsPerOp, prev.Iters = bl.NsPerOp, bl.Iters
+			}
+			for k, v := range bl.Metrics {
+				if old, ok := prev.Metrics[k]; !ok || v < old {
+					prev.Metrics[k] = v
+				}
+			}
 		}
 	}
 	if len(lines) == 0 {
 		return nil, fmt.Errorf("no benchmark lines parsed")
 	}
-	return lines, nil
+	out := make([]benchLine, len(lines))
+	for i, bl := range lines {
+		out[i] = *bl
+	}
+	return out, nil
+}
+
+// runE2EBest repeats runE2E and keeps, per metric, the least
+// noise-contaminated measurement: the minimum wall clock (the solves are
+// deterministic — only time varies) and the maximum overlap fraction (how
+// much transfer the builders managed to hide is a capability, and scheduler
+// preemption only ever pushes it down).
+func runE2EBest(el parlouvain.EdgeList, n, ranks, threads int, transport, mode, storage string, prune bool) (e2eRun, error) {
+	const attempts = 3
+	best := e2eRun{Seconds: math.Inf(1)}
+	var overlap float64
+	for i := 0; i < attempts; i++ {
+		run, err := runE2E(el, n, ranks, threads, transport, mode, storage, prune)
+		if err != nil {
+			return e2eRun{}, err
+		}
+		overlap = math.Max(overlap, run.OverlapFrac)
+		if run.Seconds < best.Seconds {
+			best = run
+		}
+	}
+	best.OverlapFrac = overlap
+	return best, nil
 }
 
 // runE2E solves the graph once over the requested transport, exchange mode

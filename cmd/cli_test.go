@@ -355,7 +355,7 @@ func TestGraphinfoCLI(t *testing.T) {
 }
 
 func TestLouvainAlgoVariants(t *testing.T) {
-	for _, algo := range []string{"lpa", "ensemble", "leiden", "lns", "seq-louvain"} {
+	for _, algo := range []string{"lpa", "ensemble", "leiden", "lns", "seq-louvain", "plm", "plp"} {
 		out := run(t, "louvain", "-algo", algo, "-gen", "ring:k=6,s=5")
 		if !strings.Contains(out, "final modularity:") {
 			t.Errorf("algo %s output: %s", algo, out)
@@ -370,7 +370,7 @@ func TestLouvainAlgoVariants(t *testing.T) {
 	}
 	// Unknown names fail and the error enumerates the registry.
 	out = runExpectError(t, "louvain", "-algo", "bogus", "-gen", "ring:k=6,s=5")
-	for _, name := range []string{"par-louvain", "seq-louvain", "leiden", "lns", "lpa", "ensemble"} {
+	for _, name := range []string{"par-louvain", "seq-louvain", "leiden", "lns", "lpa", "ensemble", "plm", "plp"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("unknown-algo error does not list %s: %s", name, out)
 		}
@@ -423,11 +423,11 @@ func TestCompareCLI(t *testing.T) {
 		}
 		cells++
 	}
-	if bterCells != 6 {
-		t.Errorf("smoke sweep wrote %d bter cells, want 6 (one per engine)", bterCells)
+	if bterCells != 8 {
+		t.Errorf("smoke sweep wrote %d bter cells, want 8 (one per engine)", bterCells)
 	}
-	if cells != 18 {
-		t.Errorf("smoke sweep wrote %d cells, want 18 (6 engines x 3 graphs)", cells)
+	if cells != 24 {
+		t.Errorf("smoke sweep wrote %d cells, want 24 (8 engines x 3 graphs)", cells)
 	}
 
 	out = run(t, "compare", "-engines-md")

@@ -7,6 +7,7 @@
 //
 //	compare                          # all engines × {lfr, rmat, bter}, markdown to stdout
 //	compare -algos par-louvain,lpa -graphs lfr -n 5000 -mu 0.4
+//	compare -threads 1,2,4 -algos plm,plp,leiden   # shared-memory scaling sweep
 //	compare -jsonl results.jsonl -md table.md -repeat 3
 //	compare -smoke                   # tiny inputs, assert valid partitions (CI)
 //	compare -engines-md              # print the registry table for README
@@ -24,6 +25,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,12 +38,15 @@ import (
 type cell struct {
 	Graph       string   `json:"graph"`
 	Algo        string   `json:"algo"`
+	Threads     int      `json:"threads"`
 	N           int      `json:"n"`
 	Edges       int64    `json:"edges"`
 	Q           float64  `json:"q"`
 	NMI         *float64 `json:"nmi"`
 	ARI         *float64 `json:"ari"`
 	WallMS      float64  `json:"wall_ms"`
+	Speedup     *float64 `json:"speedup,omitempty"`
+	Efficiency  *float64 `json:"efficiency,omitempty"`
 	CommBytes   uint64   `json:"comm_bytes"`
 	CommRounds  uint64   `json:"comm_rounds"`
 	Levels      int      `json:"levels"`
@@ -59,6 +64,7 @@ func main() {
 		scale     = flag.Int("scale", 11, "R-MAT scale (2^scale vertices)")
 		rho       = flag.Float64("rho", 0.4, "BTER target clustering coefficient")
 		ranks     = flag.Int("ranks", 4, "rank-group size per run")
+		threadsF  = flag.String("threads", "1", "comma-separated worker thread counts to sweep per cell, e.g. 1,2,4 (0 auto-selects the CPU count); speedup/efficiency are relative to the smallest count")
 		seed      = flag.Uint64("seed", 1, "generator and engine seed")
 		repeat    = flag.Int("repeat", 1, "runs per cell; wall-clock reports the fastest")
 		transport = flag.String("transport", "mem", "transport kind: mem, sim or chaos")
@@ -83,6 +89,10 @@ func main() {
 	}
 
 	names := resolveAlgos(*algos)
+	threadList, err := parseThreads(*threadsF)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var cells []cell
 	for _, fam := range splitList(*graphs) {
 		el, truth, gname, err := makeGraph(fam, *n, *mu, *scale, *rho, *seed)
@@ -91,18 +101,23 @@ func main() {
 		}
 		nv := el.NumVertices()
 		for _, name := range names {
-			c, err := runCell(name, gname, el, nv, truth, *ranks, *seed, *repeat, *transport, *check)
-			if err != nil {
-				log.Fatalf("%s on %s: %v", name, gname, err)
-			}
-			if *smoke {
-				if err := validateCell(c, nv, truth != nil); err != nil {
-					log.Fatalf("smoke: %s on %s: %v", name, gname, err)
+			for _, threads := range threadList {
+				c, err := runCell(name, gname, el, nv, truth, *ranks, threads, *seed, *repeat, *transport, *check)
+				if err != nil {
+					log.Fatalf("%s on %s: %v", name, gname, err)
 				}
+				if *smoke {
+					if err := validateCell(c, nv, truth != nil); err != nil {
+						log.Fatalf("smoke: %s on %s: %v", name, gname, err)
+					}
+				}
+				cells = append(cells, c)
+				fmt.Fprintf(os.Stderr, "done %-12s %-6s t=%d Q=%.4f wall=%.1fms\n", name, gname, threads, c.Q, c.WallMS)
 			}
-			cells = append(cells, c)
-			fmt.Fprintf(os.Stderr, "done %-12s %-6s Q=%.4f wall=%.1fms\n", name, gname, c.Q, c.WallMS)
 		}
+	}
+	if len(threadList) > 1 {
+		annotateScaling(cells, threadList[0])
 	}
 
 	if *jsonlPath != "" {
@@ -119,10 +134,48 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	writeMarkdown(out, cells)
+	writeMarkdown(out, cells, len(threadList) > 1)
 	if *smoke {
-		fmt.Printf("smoke OK: %d cells valid (%d engines × %d graphs)\n",
-			len(cells), len(names), len(splitList(*graphs)))
+		fmt.Printf("smoke OK: %d cells valid (%d engines × %d graphs × %d thread counts)\n",
+			len(cells), len(names), len(splitList(*graphs)), len(threadList))
+	}
+}
+
+// parseThreads parses the -threads sweep list. 0 entries resolve to the
+// machine's usable CPU count, mirroring `louvain -threads 0`.
+func parseThreads(spec string) ([]int, error) {
+	parts := splitList(spec)
+	if len(parts) == 0 {
+		return []int{1}, nil
+	}
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -threads entry %q (want non-negative integers, e.g. 1,2,4)", p)
+		}
+		out = append(out, parlouvain.ResolveThreads(v))
+	}
+	return out, nil
+}
+
+// annotateScaling fills Speedup and Efficiency on every cell relative to the
+// same (graph, algo) cell at the baseline thread count.
+func annotateScaling(cells []cell, baseThreads int) {
+	base := map[string]float64{}
+	for _, c := range cells {
+		if c.Threads == baseThreads {
+			base[c.Graph+"\x00"+c.Algo] = c.WallMS
+		}
+	}
+	for i := range cells {
+		b, ok := base[cells[i].Graph+"\x00"+cells[i].Algo]
+		if !ok || b <= 0 || cells[i].WallMS <= 0 {
+			continue
+		}
+		sp := b / cells[i].WallMS
+		eff := sp * float64(baseThreads) / float64(cells[i].Threads)
+		cells[i].Speedup, cells[i].Efficiency = &sp, &eff
 	}
 }
 
@@ -192,13 +245,14 @@ func makeGraph(fam string, n int, mu float64, scale int, rho float64, seed uint6
 // quality metrics from the last result (identical across repeats — the
 // engines are deterministic for a fixed seed).
 func runCell(name, gname string, el parlouvain.EdgeList, n int, truth []parlouvain.V,
-	ranks int, seed uint64, repeat int, transport string, check bool) (cell, error) {
+	ranks, threads int, seed uint64, repeat int, transport string, check bool) (cell, error) {
 	var res *parlouvain.AlgoResult
 	best := time.Duration(math.MaxInt64)
 	for i := 0; i < repeat; i++ {
 		r, err := parlouvain.DetectAlgo(name, el, parlouvain.AlgoOptions{
 			Ranks:           ranks,
 			Transport:       transport,
+			Threads:         threads,
 			Seed:            seed,
 			CheckInvariants: check,
 		})
@@ -213,6 +267,7 @@ func runCell(name, gname string, el parlouvain.EdgeList, n int, truth []parlouva
 	c := cell{
 		Graph:       gname,
 		Algo:        name,
+		Threads:     threads,
 		N:           n,
 		Edges:       res.NumEdges,
 		Q:           res.Q,
@@ -267,7 +322,17 @@ func writeJSONL(path string, cells []cell) error {
 	return f.Close()
 }
 
-func writeMarkdown(w *os.File, cells []cell) {
+func writeMarkdown(w *os.File, cells []cell, sweep bool) {
+	if sweep {
+		fmt.Fprintln(w, "| Graph | Algorithm | Threads | Q | NMI | Wall (ms) | Speedup | Efficiency | Levels | Communities |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|")
+		for _, c := range cells {
+			fmt.Fprintf(w, "| %s | %s | %d | %.4f | %s | %.1f | %s | %s | %d | %d |\n",
+				c.Graph, c.Algo, c.Threads, c.Q, fmtOpt(c.NMI),
+				c.WallMS, fmtX(c.Speedup), fmtOpt(c.Efficiency), c.Levels, c.Communities)
+		}
+		return
+	}
 	fmt.Fprintln(w, "| Graph | Algorithm | Q | NMI | ARI | Wall (ms) | Comm (KiB) | Rounds | Levels | Communities |")
 	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|")
 	for _, c := range cells {
@@ -275,6 +340,14 @@ func writeMarkdown(w *os.File, cells []cell) {
 			c.Graph, c.Algo, c.Q, fmtOpt(c.NMI), fmtOpt(c.ARI),
 			c.WallMS, float64(c.CommBytes)/1024, c.CommRounds, c.Levels, c.Communities)
 	}
+}
+
+// fmtX renders a speedup factor, e.g. "1.83x".
+func fmtX(v *float64) string {
+	if v == nil {
+		return ""
+	}
+	return fmt.Sprintf("%.2fx", *v)
 }
 
 // fmtOpt renders an optional metric, blank when the graph has no truth.

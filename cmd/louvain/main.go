@@ -38,7 +38,8 @@ func main() {
 	log.SetPrefix("louvain: ")
 	var (
 		ranks     = flag.Int("ranks", 1, "number of simulated compute ranks")
-		threads   = flag.Int("threads", 1, "worker threads per rank (par-louvain)")
+		threads   = flag.Int("threads", 0, "worker threads per rank (par-louvain, plm, plp, leiden, lns); 0 auto-selects the usable CPU count")
+		order     = flag.String("order", "default", "move-sweep vertex order: default | natural | shuffle | degree-asc | degree-desc (whole-graph engines)")
 		seq       = flag.Bool("seq", false, "shorthand for -algo seq-louvain (sequential baseline)")
 		naive     = flag.Bool("naive", false, "disable the convergence heuristic (par-louvain only)")
 		maxLevels = flag.Int("max-levels", 0, "cap on outer iterations (0 = default)")
@@ -96,14 +97,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ordering, err := parlouvain.ParseOrdering(*order)
+	if err != nil {
+		log.Fatal(err)
+	}
 	name := *algoName
 	if *seq && name == "louvain" {
 		name = "seq-louvain"
 	}
+	resolvedThreads := parlouvain.ResolveThreads(*threads)
+	if *threads <= 0 && resolvedThreads != 1 {
+		fmt.Printf("threads: auto-selected %d\n", resolvedThreads)
+	}
 	opt := parlouvain.AlgoOptions{
 		Ranks:           *ranks,
 		Transport:       *transport,
-		Threads:         *threads,
+		Threads:         resolvedThreads,
+		Order:           ordering,
 		Naive:           *naive,
 		Seed:            *seed,
 		MaxLevels:       *maxLevels,

@@ -64,7 +64,8 @@ func main() {
 		graphF    = flag.String("graph", "", "graph file shared by all ranks (each keeps its partition)")
 		localF    = flag.String("local", "", "pre-split local edge file for this rank (alternative to -graph)")
 		nFlag     = flag.Int("n", 0, "global vertex count (required with -local; inferred with -graph)")
-		threads   = flag.Int("threads", 1, "worker threads in this rank")
+		threads   = flag.Int("threads", 0, "worker threads in this rank; 0 auto-selects the usable CPU count")
+		order     = flag.String("order", "default", "move-sweep vertex order: default | natural | shuffle | degree-asc | degree-desc (must match across ranks)")
 		naive     = flag.Bool("naive", false, "disable the convergence heuristic")
 		algoName  = flag.String("algo", "louvain", "detection algorithm (must match across ranks); see louvain -list-algos")
 		seed      = flag.Uint64("seed", 0, "randomize sweep orders and tie-breaking (must match across ranks)")
@@ -213,13 +214,23 @@ func main() {
 		meshState.Store("failed")
 		log.Fatal(err)
 	}
+	ordering, err := parlouvain.ParseOrdering(*order)
+	if err != nil {
+		meshState.Store("failed")
+		log.Fatal(err)
+	}
 	// Graceful drain: SIGINT/SIGTERM cancels the detection context — the
 	// engine stops at its next level/iteration check point — and the rank
 	// still flushes telemetry and writes its trace outputs before exiting.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	resolvedThreads := parlouvain.ResolveThreads(*threads)
+	if *threads <= 0 {
+		log.Printf("threads: auto-selected %d", resolvedThreads)
+	}
 	res, err := parlouvain.DetectAlgoDistributedContext(ctx, *algoName, tr, local, n, parlouvain.AlgoOptions{
-		Threads:         *threads,
+		Threads:         resolvedThreads,
+		Order:           ordering,
 		Naive:           *naive,
 		Seed:            *seed,
 		CheckInvariants: *check,

@@ -26,6 +26,7 @@ import (
 	"parlouvain/internal/comm"
 	"parlouvain/internal/core"
 	"parlouvain/internal/graph"
+	"parlouvain/internal/movesched"
 	"parlouvain/internal/obs"
 	"parlouvain/internal/perf"
 )
@@ -60,8 +61,13 @@ type Options struct {
 	// value means comm.DefaultCostModel().
 	SimModel comm.CostModel
 
-	// Threads is the per-rank worker count (parallel Louvain only).
+	// Threads is the per-rank worker count (parallel Louvain, and the
+	// shared-memory move phases of plm/plp/leiden/lns).
 	Threads int
+	// Order selects the vertex visit order of the whole-graph move sweeps
+	// (see movesched.Ordering); the zero value keeps each engine's
+	// historical behavior.
+	Order movesched.Ordering
 	// Seed drives randomized sweep orders and tie-breaking; 0 keeps the
 	// engine's natural order.
 	Seed uint64
@@ -117,6 +123,7 @@ func (o Options) coreOptions(ctx context.Context, collect bool) core.Options {
 		Seed:            o.Seed,
 		Naive:           o.Naive,
 		Threads:         o.Threads,
+		Order:           o.Order,
 		Storage:         o.Storage,
 		Prune:           o.Prune,
 		StreamChunk:     o.StreamChunk,

@@ -18,7 +18,7 @@ import (
 
 // allEngines is the canonical engine set this PR unifies; tests iterate it
 // so a newly registered engine is exercised automatically.
-var allEngines = []string{"ensemble", "leiden", "lns", "lpa", "par-louvain", "seq-louvain"}
+var allEngines = []string{"ensemble", "leiden", "lns", "lpa", "par-louvain", "plm", "plp", "seq-louvain"}
 
 func testGraph(t testing.TB) (graph.EdgeList, []graph.V, int) {
 	t.Helper()

@@ -10,11 +10,14 @@ import (
 	"parlouvain/internal/ensemble"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/labelprop"
+	"parlouvain/internal/metrics"
 )
 
 func init() {
 	Register(parLouvain{})
 	Register(seqLouvain{})
+	Register(plmEngine{})
+	Register(plpEngine{})
 	Register(leidenEngine{})
 	Register(lnsEngine{})
 	Register(lpaEngine{})
@@ -97,6 +100,98 @@ func (e seqLouvain) Detect(ctx context.Context, g Graph, opt Options) (*Result, 
 			return nil, nil, fmt.Errorf("%w: %w", core.ErrCanceled, err)
 		}
 		return cres, nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), res)
+}
+
+// plmEngine is the shared-memory parallel Louvain move phase (Staudt &
+// Meyerhenke's PLM) on the movesched color-batch scheduler, behind the
+// rank-0 harness: decisions run on Threads workers against frozen state,
+// applications replay serially in schedule order, and an active-vertex set
+// prunes settled regions — so results are bit-identical across thread
+// counts and the per-level Q stays monotone.
+type plmEngine struct{}
+
+func (plmEngine) Name() string { return "plm" }
+
+func (plmEngine) Info() Info {
+	return Info{
+		Name:         "plm",
+		Description:  "shared-memory parallel Louvain (Staudt & Meyerhenke PLM): color-batched decide/apply move phase with active-vertex pruning",
+		Flags:        "-threads -order -warm -max-levels -max-inner",
+		Hierarchical: true,
+		MonotoneQ:    true,
+		Rank0:        true,
+	}
+}
+
+func (e plmEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
+		cres := core.PLM(full, opt.coreOptions(ctx, true))
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", core.ErrCanceled, err)
+		}
+		return cres, nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt, e.Info(), res)
+}
+
+// plpEngine is shared-memory parallel label propagation (Staudt &
+// Meyerhenke's PLP) behind the rank-0 harness: synchronous pruned sweeps
+// over Threads workers, with the same seeded tie-breaking as the
+// distributed lpa engine.
+type plpEngine struct{}
+
+func (plpEngine) Name() string { return "plp" }
+
+func (plpEngine) Info() Info {
+	return Info{
+		Name:        "plp",
+		Description: "shared-memory parallel label propagation (Staudt & Meyerhenke PLP): synchronous pruned sweeps",
+		Flags:       "-threads -max-inner (sweep cap)",
+		Rank0:       true,
+	}
+}
+
+func (e plpEngine) Detect(ctx context.Context, g Graph, opt Options) (*Result, error) {
+	res, err := runRank0(ctx, g, opt, e.Name(), func(full *graph.Graph) (*core.Result, map[string]float64, error) {
+		threads := opt.Threads
+		if threads < 1 {
+			threads = 1
+		}
+		labels, moves := labelprop.Shared(full, labelprop.Options{
+			MaxSweeps: opt.MaxIter,
+			Seed:      opt.Seed,
+			Recorder:  opt.Recorder,
+		}, threads)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", core.ErrCanceled, err)
+		}
+		sweeps := len(moves)
+		// LPA has no modularity objective; report the measured modularity
+		// of the labeling so quality is comparable across engines.
+		q := metrics.Modularity(full, labels)
+		comms := make(map[graph.V]struct{}, 64)
+		for _, c := range labels {
+			comms[c] = struct{}{}
+		}
+		cres := &core.Result{
+			Membership:  labels,
+			Q:           q,
+			NumVertices: full.N,
+			NumEdges:    int64(full.NumEdges()),
+			Levels: []core.Level{{
+				Q: q, Vertices: full.N, Communities: len(comms),
+				InnerIterations: sweeps,
+			}},
+		}
+		return cres, map[string]float64{"sweeps": float64(sweeps)}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -25,6 +25,8 @@ func runRank0(ctx context.Context, g Graph, opt Options, name string,
 	start := time.Now()
 	if opt.Metrics != nil {
 		c.Instrument(opt.Metrics)
+		opt.Metrics.Gauge("louvain_threads").Set(float64(core.ResolveThreads(opt.Threads)))
+		opt.Metrics.SetHelp("louvain_threads", "resolved per-rank worker thread count (-threads 0 auto-selects the CPU count)")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

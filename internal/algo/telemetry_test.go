@@ -16,6 +16,8 @@ var wantEvents = map[string][]string{
 	"leiden":      {"algo_gather", "algo_compute", "algo_broadcast", "level"},
 	"lns":         {"algo_gather", "algo_compute", "algo_broadcast", "level"},
 	"lpa":         {"sweep"},
+	"plm":         {"algo_gather", "algo_compute", "algo_broadcast", "level"},
+	"plp":         {"algo_gather", "algo_compute", "algo_broadcast", "sweep", "level"},
 	"ensemble":    {"algo_compute", "ensemble_run", "ensemble_final", "level"},
 }
 

@@ -260,6 +260,8 @@ func newEngine(c *comm.Comm, n int, opt Options) *engine {
 		s.mIters = reg.Counter("louvain_iterations_total")
 		reg.Gauge("louvain_stream_chunk_bytes").Set(float64(opt.StreamChunk))
 		reg.SetHelp("louvain_stream_chunk_bytes", "resolved scatter exchange mode: chunk size in bytes, -1 for bulk rounds")
+		reg.Gauge("louvain_threads").Set(float64(opt.Threads))
+		reg.SetHelp("louvain_threads", "resolved per-rank worker thread count (-threads 0 auto-selects the CPU count)")
 	}
 	if s.rec != nil {
 		// A zero-duration config marker pinning the resolved exchange mode

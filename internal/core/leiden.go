@@ -57,7 +57,7 @@ func Leiden(g *graph.Graph, opt Options) *Result {
 			// starts only apply at level 0, so vary the seed instead.
 			lvOpt.Seed = opt.Seed + uint64(level)
 		}
-		comm, movesPerIter := sweepLevel(wg, lvOpt, 0)
+		comm, movesPerIter := moveLevel(wg, lvOpt, 0)
 		q := metrics.Modularity(wg, comm)
 
 		// Refine: split every move community into its connected components

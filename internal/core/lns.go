@@ -5,6 +5,7 @@ import (
 
 	"parlouvain/internal/graph"
 	"parlouvain/internal/metrics"
+	"parlouvain/internal/movesched"
 	"parlouvain/internal/perf"
 )
 
@@ -44,7 +45,19 @@ func LNS(g *graph.Graph, opt Options) *Result {
 		if opt.canceled() != nil {
 			break // keep the best hierarchy reached so far
 		}
-		comm, pops, moved := lnsLevel(wg, opt, level)
+		var comm []graph.V
+		var pops, moved int
+		if opt.Threads > 1 {
+			// Color-batched parallel move phase on the shared scheduler;
+			// scans stand in for queue pops in the work accounting.
+			var movesPerIter []int
+			comm, movesPerIter, pops = plmLevel(wg, opt, level)
+			for _, m := range movesPerIter {
+				moved += m
+			}
+		} else {
+			comm, pops, moved = lnsLevel(wg, opt, level)
+		}
 		q := metrics.Modularity(wg, comm)
 
 		compact := make(map[graph.V]graph.V, wg.N/4+1)
@@ -96,35 +109,22 @@ func lnsLevel(wg *graph.Graph, opt Options, level int) (comm []graph.V, pops, mo
 		comm[u] = graph.V(u)
 		tot[u] = wg.Deg[u]
 	}
-	order := make([]uint32, n)
-	for i := range order {
-		order[i] = uint32(i)
+	queue := movesched.NewQueue(n)
+	for _, ui := range levelOrder(wg, opt, level) {
+		queue.Push(ui)
 	}
-	if opt.Seed != 0 {
-		shuffle(order, opt.Seed+uint64(level))
-	}
-	queue := make([]graph.V, 0, 2*n)
-	inQ := make([]bool, n)
-	for _, ui := range order {
-		queue = append(queue, graph.V(ui))
-		inQ[ui] = true
-	}
-	head := 0
 	// MaxInner bounds the work like a sweep cap would: at most MaxInner
 	// full-graph-equivalents of pops per level.
 	maxPops := opt.MaxInner * n
 
 	w2c := make([]float64, n)
 	touched := make([]graph.V, 0, 64)
-	for head < len(queue) && pops < maxPops {
-		u := queue[head]
-		head++
-		inQ[u] = false
-		if head > n && head*2 > len(queue) {
-			// Reclaim the drained prefix so the queue stays O(n).
-			queue = queue[:copy(queue, queue[head:])]
-			head = 0
+	for pops < maxPops {
+		ui, ok := queue.Pop()
+		if !ok {
+			break
 		}
+		u := graph.V(ui)
 		pops++
 
 		ku := wg.Deg[u]
@@ -177,9 +177,8 @@ func lnsLevel(wg *graph.Graph, opt Options, level int) (comm []graph.V, pops, mo
 			// The local neighbourhood: re-examine the vertices whose best
 			// community may have changed.
 			wg.Neighbors(u, func(v graph.V, w float64) bool {
-				if !inQ[v] && v != u {
-					inQ[v] = true
-					queue = append(queue, v)
+				if v != u {
+					queue.Push(uint32(v))
 				}
 				return true
 			})

@@ -18,7 +18,9 @@ import (
 	"parlouvain/internal/edgetable"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
+	"parlouvain/internal/movesched"
 	"parlouvain/internal/obs"
+	"parlouvain/internal/par"
 	"parlouvain/internal/perf"
 )
 
@@ -158,8 +160,17 @@ type Options struct {
 	// baseline of Figure 4).
 	Naive bool
 
-	// Threads is the per-rank worker count (parallel only); 0 means 1.
+	// Threads is the per-rank worker count (parallel Louvain, and the
+	// shared-memory color-batched move phase of PLM/Leiden/LNS); 0 means 1.
+	// CLI frontends resolve 0 to par.DefaultThreads() via ResolveThreads
+	// before constructing Options, so the library default stays exactly 1.
 	Threads int
+	// Order selects the vertex visit order of the whole-graph move sweeps
+	// (Sequential, PLM, Leiden, LNS): the zero value keeps each engine's
+	// historical behavior (natural order, seeded shuffle when Seed is
+	// set); see movesched.Ordering for the alternatives. The parallel
+	// distributed engine ignores it. Exposed as -order on cmd/louvain.
+	Order movesched.Ordering
 	// Hash selects the edge-table hash family; default Fibonacci.
 	Hash hashfn.Kind
 	// LoadFactor for the edge tables; 0 means the paper's 1/4.
@@ -294,6 +305,19 @@ var ErrCanceled = errors.New("detection canceled")
 // network transfer to hide — while TCP gains from the overlap at every
 // size.
 const autoBulkMaxRanks = 4
+
+// ResolveThreads maps a CLI -threads value to the concrete per-rank worker
+// count: explicit positives pass through, zero (and negatives) auto-select
+// par.DefaultThreads(), the usable CPU count. Frontends call this before
+// building Options — the library itself keeps treating non-positive Threads
+// as exactly 1 so embedded zero-value runs stay single-threaded and
+// bit-stable.
+func ResolveThreads(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return par.DefaultThreads()
+}
 
 // ResolveStreamChunk maps Options.StreamChunk to the concrete exchange mode
 // for a group of the given transport kind ("mem", "tcp", "sim", ...) and

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"parlouvain/internal/gen"
+	"parlouvain/internal/graph"
+	"parlouvain/internal/metrics"
+	"parlouvain/internal/movesched"
+)
+
+func plmTestGraph(t testing.TB) (*graph.Graph, []graph.V) {
+	t.Helper()
+	el, truth, err := gen.LFR(gen.DefaultLFR(800, 0.3, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.Build(el, 800), truth
+}
+
+func samePLMResult(t *testing.T, what string, a, b *Result) {
+	t.Helper()
+	if a.Q != b.Q {
+		t.Fatalf("%s: Q %v != %v", what, a.Q, b.Q)
+	}
+	if len(a.Levels) != len(b.Levels) {
+		t.Fatalf("%s: %d levels != %d", what, len(a.Levels), len(b.Levels))
+	}
+	for i := range a.Levels {
+		if a.Levels[i].Q != b.Levels[i].Q ||
+			a.Levels[i].Communities != b.Levels[i].Communities ||
+			a.Levels[i].InnerIterations != b.Levels[i].InnerIterations {
+			t.Fatalf("%s: level %d differs: %+v vs %+v", what, i, a.Levels[i], b.Levels[i])
+		}
+	}
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Fatalf("%s: membership differs at vertex %d", what, v)
+		}
+	}
+}
+
+// TestPLMDeterministicAcrossThreads is the scheduler's core contract: the
+// color-batched decide/apply sweep produces bit-identical hierarchies at
+// every thread count — threads change wall clock, never the partition.
+// (Run under -race in CI, this doubles as the data-race check on the
+// decide fan-out.)
+func TestPLMDeterministicAcrossThreads(t *testing.T) {
+	g, _ := plmTestGraph(t)
+	base := PLM(g, Options{Seed: 11, Threads: 1})
+	for _, threads := range []int{2, 4} {
+		got := PLM(g, Options{Seed: 11, Threads: threads})
+		samePLMResult(t, "threads", base, got)
+	}
+}
+
+// TestPLMReproducibleRunToRun pins fixed-seed bit-reproducibility at a
+// fixed thread count.
+func TestPLMReproducibleRunToRun(t *testing.T) {
+	g, _ := plmTestGraph(t)
+	for _, threads := range []int{1, 4} {
+		a := PLM(g, Options{Seed: 5, Threads: threads})
+		b := PLM(g, Options{Seed: 5, Threads: threads})
+		samePLMResult(t, "rerun", a, b)
+	}
+}
+
+func TestPLMQualityAndMonotonicity(t *testing.T) {
+	g, truth := plmTestGraph(t)
+	seq := Sequential(g, Options{Seed: 11})
+	res := PLM(g, Options{Seed: 11, Threads: 4})
+	if res.Q < seq.Q-0.05 {
+		t.Errorf("PLM Q %v far below sequential %v", res.Q, seq.Q)
+	}
+	qPrev := -1.0
+	for i, lv := range res.Levels {
+		if lv.Q < qPrev-1e-9 {
+			t.Errorf("level %d Q decreased: %v -> %v", i, qPrev, lv.Q)
+		}
+		qPrev = lv.Q
+	}
+	if q := metrics.Modularity(g, res.Membership); q-res.Q > 1e-9 || res.Q-q > 1e-9 {
+		t.Errorf("reported Q %v != recomputed %v", res.Q, q)
+	}
+	sim, err := metrics.Compare(res.Membership, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.NMI < 0.55 {
+		t.Errorf("NMI vs planted truth = %v", sim.NMI)
+	}
+}
+
+func TestPLMOrderings(t *testing.T) {
+	g, _ := plmTestGraph(t)
+	for _, ord := range []movesched.Ordering{
+		movesched.OrderNatural, movesched.OrderShuffle,
+		movesched.OrderDegreeAsc, movesched.OrderDegreeDesc,
+	} {
+		res := PLM(g, Options{Seed: 3, Threads: 2, Order: ord})
+		if res.Q < 0.3 {
+			t.Errorf("order %v: Q = %v implausibly low", ord, res.Q)
+		}
+		if q := metrics.Modularity(g, res.Membership); q-res.Q > 1e-9 || res.Q-q > 1e-9 {
+			t.Errorf("order %v: reported Q %v != recomputed %v", ord, res.Q, q)
+		}
+	}
+}
+
+func TestPLMWarmStart(t *testing.T) {
+	g, _ := plmTestGraph(t)
+	cold := PLM(g, Options{Seed: 2, Threads: 2})
+	warm := PLM(g, Options{Seed: 2, Threads: 2, Warm: cold.Membership})
+	if warm.Q < cold.Q-1e-9 {
+		t.Errorf("warm start lost quality: %v -> %v", cold.Q, warm.Q)
+	}
+	if len(warm.Levels) > len(cold.Levels) {
+		t.Errorf("warm start did more levels (%d) than cold (%d)", len(warm.Levels), len(cold.Levels))
+	}
+}
+
+func TestPLMTrivialGraphs(t *testing.T) {
+	empty := PLM(graph.Build(nil, 0), Options{Threads: 4})
+	if empty.Q != 0 || len(empty.Membership) != 0 {
+		t.Errorf("empty graph: %+v", empty)
+	}
+	single := PLM(graph.Build(graph.EdgeList{{U: 0, V: 1, W: 1}}, 2), Options{Threads: 4})
+	if len(single.Membership) != 2 {
+		t.Errorf("two-vertex graph: %+v", single)
+	}
+	if single.Membership[0] != single.Membership[1] {
+		t.Errorf("single edge should merge into one community: %v", single.Membership)
+	}
+}
+
+// TestLeidenLNSThreadedDispatch pins the retrofit: at Threads > 1 Leiden
+// and LNS ride the color-batched scheduler and must still deliver monotone,
+// near-sequential quality; at Threads <= 1 they are byte-for-byte the
+// historical engines (pinned by sameResult against an explicit Threads: 1).
+func TestLeidenLNSThreadedDispatch(t *testing.T) {
+	g, _ := plmTestGraph(t)
+	for name, run := range map[string]func(*graph.Graph, Options) *Result{
+		"leiden": Leiden,
+		"lns":    LNS,
+	} {
+		seq1 := run(g, Options{Seed: 9})
+		seqExplicit := run(g, Options{Seed: 9, Threads: 1})
+		samePLMResult(t, name+" threads<=1", seq1, seqExplicit)
+
+		thr := run(g, Options{Seed: 9, Threads: 4})
+		if thr.Q < seq1.Q-0.05 {
+			t.Errorf("%s threaded Q %v far below sequential %v", name, thr.Q, seq1.Q)
+		}
+		qPrev := -1.0
+		for i, lv := range thr.Levels {
+			if lv.Q < qPrev-1e-9 {
+				t.Errorf("%s threaded: level %d Q decreased %v -> %v", name, i, qPrev, lv.Q)
+			}
+			qPrev = lv.Q
+		}
+		// Thread-count independence carries through the retrofit too.
+		thr2 := run(g, Options{Seed: 9, Threads: 2})
+		samePLMResult(t, name+" threads 2 vs 4", thr, thr2)
+	}
+}
+
+func TestResolveThreads(t *testing.T) {
+	if got := ResolveThreads(3); got != 3 {
+		t.Errorf("ResolveThreads(3) = %d", got)
+	}
+	if got := ResolveThreads(0); got < 1 {
+		t.Errorf("ResolveThreads(0) = %d, want >= 1", got)
+	}
+	if got := ResolveThreads(-1); got < 1 {
+		t.Errorf("ResolveThreads(-1) = %d, want >= 1", got)
+	}
+}
+
+// TestSequentialOrderHookUnchanged pins that threading the ordering through
+// movesched left the sequential engine bit-identical: OrderDefault with and
+// without seed reproduces the historical sweeps.
+func TestSequentialOrderHookUnchanged(t *testing.T) {
+	g, _ := plmTestGraph(t)
+	natural := Sequential(g, Options{Order: movesched.OrderNatural})
+	def := Sequential(g, Options{})
+	samePLMResult(t, "unseeded default==natural", natural, def)
+
+	explicit := Sequential(g, Options{Seed: 13, Order: movesched.OrderShuffle})
+	seeded := Sequential(g, Options{Seed: 13})
+	samePLMResult(t, "seeded default==shuffle", explicit, seeded)
+}

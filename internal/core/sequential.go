@@ -105,13 +105,7 @@ func sweepLevel(wg *graph.Graph, opt Options, level int) ([]graph.V, []int) {
 			tot[c] += wg.Deg[u]
 		}
 	}
-	order := make([]uint32, n)
-	for i := range order {
-		order[i] = uint32(i)
-	}
-	if opt.Seed != 0 {
-		shuffle(order, opt.Seed+uint64(level))
-	}
+	order := levelOrder(wg, opt, level)
 
 	// Scratch for neighbor-community weights: dense array + touched list.
 	w2c := make([]float64, n)
@@ -224,21 +218,4 @@ func condense(wg *graph.Graph, comm []graph.V, compact map[graph.V]graph.V, numC
 		}
 	}
 	return graph.Build(el, numComms)
-}
-
-// shuffle is a seeded Fisher-Yates over uint32 ids (kept local to avoid a
-// dependency from core onto gen).
-func shuffle(xs []uint32, seed uint64) {
-	s := seed
-	next := func() uint64 {
-		s += 0x9E3779B97F4A7C15
-		z := s
-		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-		return z ^ (z >> 31)
-	}
-	for i := len(xs) - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
-		xs[i], xs[j] = xs[j], xs[i]
-	}
 }

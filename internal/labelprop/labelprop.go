@@ -18,6 +18,7 @@ import (
 	"parlouvain/internal/comm"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/hashfn"
+	"parlouvain/internal/movesched"
 	"parlouvain/internal/obs"
 	"parlouvain/internal/wire"
 )
@@ -75,7 +76,7 @@ func Sequential(g *graph.Graph, opt Options) ([]graph.V, []int) {
 		order[i] = uint32(i)
 	}
 	if opt.Seed != 0 {
-		shuffle(order, opt.Seed)
+		movesched.Shuffle(order, opt.Seed)
 	}
 
 	weight := make([]float64, g.N) // scratch: label -> incident weight
@@ -258,19 +259,4 @@ func Parallel(c *comm.Comm, local graph.EdgeList, n int, opt Options) ([]graph.V
 		}
 	}
 	return full, movesPerSweep, nil
-}
-
-func shuffle(xs []uint32, seed uint64) {
-	s := seed
-	next := func() uint64 {
-		s += 0x9E3779B97F4A7C15
-		z := s
-		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-		return z ^ (z >> 31)
-	}
-	for i := len(xs) - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
-		xs[i], xs[j] = xs[j], xs[i]
-	}
 }

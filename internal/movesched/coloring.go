@@ -1,0 +1,62 @@
+package movesched
+
+// Coloring partitions vertices into conflict-free batches: no two vertices
+// of the same batch are adjacent, so one batch's moves can be *decided*
+// concurrently without any mover invalidating another's neighbor-community
+// weights (Lu & Halappanavar 2014). Batches[c] lists the vertices of color
+// c in visit-order sequence, which is the deterministic apply order the
+// engines use.
+type Coloring struct {
+	// Color[u] is u's color, in [0, len(Batches)).
+	Color []int32
+	// Batches[c] holds the vertices of color c, ordered by their position
+	// in the coloring's visit order.
+	Batches [][]uint32
+}
+
+// NumColors returns the number of batches.
+func (c *Coloring) NumColors() int { return len(c.Batches) }
+
+// Greedy first-fit colors the n vertices visited in the given order:
+// each vertex takes the smallest color unused by its already-colored
+// neighbors. neighbors must invoke emit for every neighbor of u (self-loops
+// are ignored; duplicates are fine). The result depends only on (order,
+// adjacency), so a fixed seed yields a fixed schedule.
+//
+// First-fit over a degree-descending order uses at most maxDeg+1 colors;
+// community graphs in practice need far fewer, so batches stay large enough
+// to parallelize.
+func Greedy(n int, order []uint32, neighbors func(u uint32, emit func(v uint32))) Coloring {
+	col := Coloring{Color: make([]int32, n)}
+	for i := range col.Color {
+		col.Color[i] = -1
+	}
+	// used[c] == stamp marks color c as taken by a neighbor of the vertex
+	// currently being colored; stamping avoids a clear per vertex.
+	used := make([]int32, 0, 64)
+	stamp := int32(0)
+	for _, u := range order {
+		stamp++
+		neighbors(u, func(v uint32) {
+			if v == u {
+				return
+			}
+			if c := col.Color[v]; c >= 0 {
+				for int(c) >= len(used) {
+					used = append(used, 0)
+				}
+				used[c] = stamp
+			}
+		})
+		c := int32(0)
+		for int(c) < len(used) && used[c] == stamp {
+			c++
+		}
+		col.Color[u] = c
+		for int(c) >= len(col.Batches) {
+			col.Batches = append(col.Batches, nil)
+		}
+		col.Batches[c] = append(col.Batches[c], u)
+	}
+	return col
+}

@@ -1,0 +1,132 @@
+// Package movesched provides the shared move-scheduling layer for the
+// shared-memory engines: seeded vertex orderings, a greedy graph coloring
+// that partitions vertices into conflict-free batches (Lu & Halappanavar
+// 2014), and active-vertex work tracking (queue and double-buffered set)
+// implementing the pruning rule of Lu & Halappanavar and Sahu — a vertex
+// re-enters the schedule only when one of its neighbors moved.
+//
+// Everything here is deterministic for fixed inputs: permutations depend
+// only on (n, ordering, degrees, seed), the coloring only on the order and
+// adjacency, and the containers preserve insertion order. The parallel move
+// phases built on top (core.PLM, labelprop.Shared) decide moves against
+// frozen state and apply them in schedule order, so their results are
+// bit-identical across thread counts.
+package movesched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ordering selects the vertex visit order of a move sweep.
+type Ordering uint8
+
+const (
+	// OrderDefault is each engine's historical behavior: natural order,
+	// unless the run is seeded, in which case a seeded shuffle (exactly
+	// what the sequential engines did before this package existed).
+	OrderDefault Ordering = iota
+	// OrderNatural visits vertices 0..n-1 regardless of seed.
+	OrderNatural
+	// OrderShuffle always applies the seeded Fisher-Yates shuffle.
+	OrderShuffle
+	// OrderDegreeAsc visits low-degree vertices first (ties by id):
+	// leaves settle before hubs, which then see stable neighborhoods.
+	OrderDegreeAsc
+	// OrderDegreeDesc visits hubs first (ties by id): the heavy vertices
+	// claim communities early, in the spirit of Lu & Halappanavar's
+	// vertex-following preprocessing.
+	OrderDegreeDesc
+)
+
+// String returns the flag spelling of the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderDefault:
+		return "default"
+	case OrderNatural:
+		return "natural"
+	case OrderShuffle:
+		return "shuffle"
+	case OrderDegreeAsc:
+		return "degree-asc"
+	case OrderDegreeDesc:
+		return "degree-desc"
+	default:
+		return fmt.Sprintf("Ordering(%d)", uint8(o))
+	}
+}
+
+// ParseOrdering parses the -order flag values.
+func ParseOrdering(s string) (Ordering, error) {
+	switch s {
+	case "default", "":
+		return OrderDefault, nil
+	case "natural":
+		return OrderNatural, nil
+	case "shuffle":
+		return OrderShuffle, nil
+	case "degree-asc":
+		return OrderDegreeAsc, nil
+	case "degree-desc":
+		return OrderDegreeDesc, nil
+	default:
+		return OrderDefault, fmt.Errorf("unknown ordering %q (want default, natural, shuffle, degree-asc or degree-desc)", s)
+	}
+}
+
+// Shuffle is the seeded splitmix64 Fisher-Yates shuffle every engine in the
+// repo uses for sweep orders. It is bit-identical to the copies that used to
+// live in core and labelprop, so permutations (and therefore results) are
+// unchanged by the move here.
+func Shuffle(xs []uint32, seed uint64) {
+	s := seed
+	next := func() uint64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Permutation builds the visit order over [0, n) for the given ordering.
+// deg supplies vertex degrees and is only consulted by the degree
+// orderings (ties break by id, keeping them deterministic); seed is only
+// consulted by OrderDefault and OrderShuffle.
+func Permutation(n int, ord Ordering, deg []float64, seed uint64) []uint32 {
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	switch ord {
+	case OrderDefault:
+		if seed != 0 {
+			Shuffle(order, seed)
+		}
+	case OrderNatural:
+	case OrderShuffle:
+		Shuffle(order, seed)
+	case OrderDegreeAsc:
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if deg[a] != deg[b] {
+				return deg[a] < deg[b]
+			}
+			return a < b
+		})
+	case OrderDegreeDesc:
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if deg[a] != deg[b] {
+				return deg[a] > deg[b]
+			}
+			return a < b
+		})
+	}
+	return order
+}

@@ -40,6 +40,7 @@ import (
 	"parlouvain/internal/gen"
 	"parlouvain/internal/graph"
 	"parlouvain/internal/metrics"
+	"parlouvain/internal/movesched"
 	"parlouvain/internal/obs"
 )
 
@@ -86,6 +87,29 @@ const (
 
 // ParseStorage parses the -storage flag values "hash", "csr" and "auto".
 func ParseStorage(s string) (StorageKind, error) { return core.ParseStorage(s) }
+
+// Ordering selects the vertex visit order of the whole-graph move sweeps
+// (Options.Order / -order): the engine's historical default, natural,
+// seeded shuffle, or degree-ascending/descending.
+type Ordering = movesched.Ordering
+
+// Vertex orderings for Options.Order.
+const (
+	OrderDefault    = movesched.OrderDefault
+	OrderNatural    = movesched.OrderNatural
+	OrderShuffle    = movesched.OrderShuffle
+	OrderDegreeAsc  = movesched.OrderDegreeAsc
+	OrderDegreeDesc = movesched.OrderDegreeDesc
+)
+
+// ParseOrdering parses the -order flag values "default", "natural",
+// "shuffle", "degree-asc" and "degree-desc".
+func ParseOrdering(s string) (Ordering, error) { return movesched.ParseOrdering(s) }
+
+// ResolveThreads maps a -threads flag value to the concrete per-rank worker
+// count: positives pass through, 0 (and negatives) auto-select the usable
+// CPU count.
+func ResolveThreads(threads int) int { return core.ResolveThreads(threads) }
 
 // BuildGraph constructs a CSR graph from an edge list; n <= 0 infers the
 // vertex count.
